@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared formatting helpers for the per-figure bench harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure from the
+ * paper's evaluation section and prints the same rows/series the paper
+ * reports, so EXPERIMENTS.md can record paper-vs-measured shapes.
+ */
+
+#ifndef PROCRUSTES_BENCH_BENCH_UTIL_H_
+#define PROCRUSTES_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "arch/cost_model.h"
+
+namespace procrustes {
+namespace bench {
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print one energy-breakdown row (J). */
+inline void
+energyRow(const std::string &label, const arch::PhaseCost &c)
+{
+    std::printf("%-24s dram %8.4f  glb %8.4f  rf %8.4f  mac %8.4f  "
+                "total %8.4f J\n",
+                label.c_str(), c.dramEnergyJ, c.glbEnergyJ, c.rfEnergyJ,
+                c.macEnergyJ, c.totalEnergyJ());
+}
+
+/** Print one latency row (cycles). */
+inline void
+cycleRow(const std::string &label, const arch::PhaseCost &c)
+{
+    std::printf("%-24s %12.4g cycles  (compute %.4g, dram-side %.4g)\n",
+                label.c_str(), c.cycles, c.computeCycles, c.dramCycles);
+}
+
+} // namespace bench
+} // namespace procrustes
+
+#endif // PROCRUSTES_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 15: validation accuracy over training for the full Procrustes
+ * scheme versus the unpruned SGD baseline, on three tasks.
+ *
+ * Paper: VGG-S, DenseNet, WRN-28-10 on CIFAR-10 over 236-462 epochs.
+ * Substitute: three synthetic tasks / architectures (spiral MLP, blob
+ * CNN, wide blob CNN) exercising the same optimizer. Claim under test:
+ * Procrustes (decay + streaming quantile selection) converges to the
+ * dense baseline's accuracy in comparable time.
+ */
+
+#include "bench_util.h"
+#include "train_util.h"
+
+using namespace procrustes;
+using namespace procrustes::bench;
+
+namespace {
+
+void
+runScenario(const std::string &name, nn::Network &dense_net,
+            nn::Network &sparse_net, const nn::Dataset &train,
+            const nn::Dataset &val, const nn::TrainConfig &tc, float lr,
+            double sparsity, int64_t horizon)
+{
+    nn::Sgd sgd(lr);
+    const auto dense_hist =
+        trainNetwork(dense_net, sgd, train, val, tc);
+
+    sparse::DropbackConfig cfg;
+    cfg.sparsity = sparsity;
+    cfg.lr = lr;
+    cfg.initDecay = 0.95f;
+    cfg.decayHorizon = horizon;
+    cfg.selection = sparse::SelectionMode::QuantileEstimate;
+    sparse::DropbackOptimizer opt(cfg);
+    const auto sparse_hist =
+        trainNetwork(sparse_net, opt, train, val, tc);
+
+    std::printf("\n--- %s (sparsity target %.1fx) ---\n", name.c_str(),
+                sparsity);
+    const size_t stride =
+        std::max<size_t>(1, dense_hist.size() / 10);
+    printCurve("baseline (SGD)", dense_hist, stride);
+    printCurve("Procrustes", sparse_hist, stride);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 15: Procrustes vs dense SGD accuracy curves",
+           "Fig. 15 of MICRO 2020 Procrustes paper");
+
+    {
+        const auto [train, val] = spiralSplits();
+        nn::TrainConfig tc;
+        tc.epochs = 50;
+        tc.batchSize = 32;
+        nn::Network dense;
+        buildMlp(dense, 33);
+        nn::Network sparse_net;
+        buildMlp(sparse_net, 33);
+        runScenario("spiral MLP  (VGG-S stand-in)", dense, sparse_net,
+                    train, val, tc, 0.15f, 3.0, 200);
+    }
+    {
+        const auto [train, val] = blobSplits();
+        nn::TrainConfig tc;
+        tc.epochs = 24;
+        tc.batchSize = 16;
+        nn::Network dense;
+        buildCnn(dense, 6, 2, /*width=*/16);
+        nn::Network sparse_net;
+        buildCnn(sparse_net, 6, 2, /*width=*/16);
+        runScenario("blob CNN    (DenseNet stand-in)", dense,
+                    sparse_net, train, val, tc, 0.05f, 3.9, 100);
+    }
+    {
+        const auto [train, val] = blobSplits(8);
+        nn::TrainConfig tc;
+        tc.epochs = 24;
+        tc.batchSize = 16;
+        nn::Network dense;
+        buildCnn(dense, 8, 5, /*width=*/24);
+        nn::Network sparse_net;
+        buildCnn(sparse_net, 8, 5, /*width=*/24);
+        runScenario("wide CNN    (WRN stand-in)", dense, sparse_net,
+                    train, val, tc, 0.05f, 4.3, 100);
+    }
+
+    std::printf("\n(paper: Procrustes reaches state-of-the-art accuracy "
+                "as quickly (or faster) than the unpruned baseline)\n");
+    return 0;
+}

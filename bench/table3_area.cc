@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table III: silicon area and power costs of the Procrustes modules,
+ * with the overhead roll-up over an equivalent dense accelerator.
+ *
+ * Component values are the paper's Synopsys DC / FreePDK 45 nm
+ * synthesis results; the per-PE replication and the overhead
+ * percentages are recomputed by the area model (the paper reports 14%
+ * area and 11% power; the itemized components alone give a few points
+ * more because the paper's baseline includes un-itemized control
+ * logic).
+ */
+
+#include "bench_util.h"
+
+#include "arch/area_model.h"
+
+using namespace procrustes;
+using namespace procrustes::arch;
+
+int
+main()
+{
+    bench::banner("Table III: silicon area and power overheads",
+                  "Table III of MICRO 2020 Procrustes paper");
+
+    const AreaModel am(256);
+    std::printf("\n%-22s %10s %14s %7s %11s\n", "component",
+                "power(mW)", "area(um^2)", "per-PE", "Procrustes");
+    for (const ComponentArea &c : am.components()) {
+        std::printf("%-22s %10.2f %14.2f %7s %11s\n", c.name.c_str(),
+                    c.powerMw, c.areaUm2, c.perPe ? "yes" : "no",
+                    c.procrustesOnly ? "overhead" : "baseline");
+    }
+
+    std::printf("\nRoll-up for a 16x16 (256 PE) accelerator:\n");
+    std::printf("  baseline area:   %12.0f um^2\n",
+                am.baselineAreaUm2());
+    std::printf("  Procrustes area: %12.0f um^2  (overhead %.1f%%; "
+                "paper: 14%%)\n",
+                am.procrustesAreaUm2(), 100.0 * am.areaOverhead());
+    std::printf("  baseline power:   %10.1f mW\n",
+                am.baselinePowerMw());
+    std::printf("  Procrustes power: %10.1f mW  (overhead %.1f%%; "
+                "paper: 11%%)\n",
+                am.procrustesPowerMw(), 100.0 * am.powerOverhead());
+
+    const AreaModel am32(1024);
+    std::printf("\n32x32 (1024 PE) variant: area overhead %.1f%%, "
+                "power overhead %.1f%%\n",
+                100.0 * am32.areaOverhead(),
+                100.0 * am32.powerOverhead());
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "arch/accelerator.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace arch {
+
+PhaseCost
+NetworkCost::total() const
+{
+    PhaseCost t;
+    t += fw;
+    t += bw;
+    t += wu;
+    return t;
+}
+
+NetworkCost
+Accelerator::evaluate(const NetworkModel &net,
+                      const std::vector<LayerSparsityProfile> &profiles,
+                      int64_t batch) const
+{
+    PROCRUSTES_ASSERT(profiles.size() == net.layers.size(),
+                      "profile count mismatch");
+    NetworkCost cost;
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        cost.fw += model_.evaluatePhase(net.layers[i], Phase::Forward,
+                                        mapping_, profiles[i], batch);
+        cost.bw += model_.evaluatePhase(net.layers[i], Phase::Backward,
+                                        mapping_, profiles[i], batch);
+        cost.wu += model_.evaluatePhase(net.layers[i],
+                                        Phase::WeightUpdate, mapping_,
+                                        profiles[i], batch);
+    }
+    return cost;
+}
+
+NetworkCost
+Accelerator::evaluateLayer(const LayerShape &layer,
+                           const LayerSparsityProfile &profile,
+                           int64_t batch) const
+{
+    NetworkCost cost;
+    cost.fw += model_.evaluatePhase(layer, Phase::Forward, mapping_,
+                                    profile, batch);
+    cost.bw += model_.evaluatePhase(layer, Phase::Backward, mapping_,
+                                    profile, batch);
+    cost.wu += model_.evaluatePhase(layer, Phase::WeightUpdate, mapping_,
+                                    profile, batch);
+    return cost;
+}
+
+Accelerator
+Accelerator::procrustes(const ArrayConfig &cfg)
+{
+    CostOptions opts;
+    opts.sparse = true;
+    opts.balance = BalanceMode::HalfTile;
+    return {cfg, opts, MappingKind::KN};
+}
+
+Accelerator
+Accelerator::denseBaseline(const ArrayConfig &cfg)
+{
+    CostOptions opts;
+    opts.sparse = false;
+    opts.balance = BalanceMode::None;
+    return {cfg, opts, MappingKind::KN};
+}
+
+Accelerator
+Accelerator::idealSparse(const ArrayConfig &cfg)
+{
+    CostOptions opts;
+    opts.sparse = true;
+    opts.ideal = true;
+    opts.balance = BalanceMode::FullChip;
+    return {cfg, opts, MappingKind::KN};
+}
+
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Top-level accelerator roll-ups: whole-network, all-phase evaluation.
+ *
+ * Ties the cost model, model zoo, and sparsity profiles together into
+ * the two machines the paper compares: the dense baseline training
+ * accelerator (Table I, top) and Procrustes (Table I, bottom), plus
+ * the Figure 1 idealization.
+ */
+
+#ifndef PROCRUSTES_ARCH_ACCELERATOR_H_
+#define PROCRUSTES_ARCH_ACCELERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.h"
+#include "arch/model_zoo.h"
+
+namespace procrustes {
+namespace arch {
+
+/** Whole-network cost, broken down by phase. */
+struct NetworkCost
+{
+    PhaseCost fw;
+    PhaseCost bw;
+    PhaseCost wu;
+
+    /** Sum across phases. */
+    PhaseCost total() const;
+
+    /** Total energy across all phases (J). */
+    double totalEnergyJ() const { return total().totalEnergyJ(); }
+
+    /** Total cycles across all phases. */
+    double totalCycles() const { return total().cycles; }
+};
+
+/** One accelerator configuration under evaluation. */
+class Accelerator
+{
+  public:
+    /**
+     * @param cfg array geometry and energies.
+     * @param opts sparse / balance / ideal behaviour.
+     * @param mapping spatial partitioning used for all phases (the
+     *        paper selects K,N for Procrustes, Section VI-D).
+     */
+    Accelerator(const ArrayConfig &cfg, const CostOptions &opts,
+                MappingKind mapping)
+        : model_(cfg, opts), mapping_(mapping)
+    {}
+
+    /** Evaluate one training iteration of a network at a batch size. */
+    NetworkCost evaluate(const NetworkModel &net,
+                         const std::vector<LayerSparsityProfile> &profiles,
+                         int64_t batch) const;
+
+    /** Evaluate a single layer across all three phases. */
+    NetworkCost evaluateLayer(const LayerShape &layer,
+                              const LayerSparsityProfile &profile,
+                              int64_t batch) const;
+
+    const CostModel &costModel() const { return model_; }
+    MappingKind mapping() const { return mapping_; }
+
+    /** The paper's Procrustes configuration (sparse, K,N, half-tile). */
+    static Accelerator procrustes(
+        const ArrayConfig &cfg = ArrayConfig::baseline16());
+
+    /** The dense baseline of Table I (no sparse training support). */
+    static Accelerator denseBaseline(
+        const ArrayConfig &cfg = ArrayConfig::baseline16());
+
+    /** The Figure 1 idealization. */
+    static Accelerator idealSparse(
+        const ArrayConfig &cfg = ArrayConfig::baseline16());
+
+  private:
+    CostModel model_;
+    MappingKind mapping_;
+};
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_ACCELERATOR_H_

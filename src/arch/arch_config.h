@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hardware configuration and per-access energy table.
+ *
+ * Geometry follows Table I of the paper: a 16x16 PE array with 32-bit
+ * floating-point MACs, 1 KB register file per PE, a 128 KB shared
+ * global buffer, and a 64-bit DRAM interface (Figure 14). The paper's
+ * scalability study (Figure 20) quadruples the PE count and scales the
+ * GLB by sqrt(2) per doubling of array side.
+ *
+ * Energy constants substitute for Accelergy's 40/45 nm library (not
+ * redistributable): the FP32 MAC and RF figures are derived from the
+ * paper's own Table III synthesis powers (FreePDK 45 nm, ~1 GHz), and
+ * the SRAM/DRAM per-word costs are standard literature values of the
+ * same vintage. Absolute joules therefore differ from the paper's
+ * testbed, but every conclusion drawn from them is a ratio (sparse vs
+ * dense, mapping vs mapping), which the ratios of these constants
+ * preserve. See DESIGN.md §4.
+ */
+
+#ifndef PROCRUSTES_ARCH_ARCH_CONFIG_H_
+#define PROCRUSTES_ARCH_ARCH_CONFIG_H_
+
+#include <cstdint>
+
+namespace procrustes {
+namespace arch {
+
+/** PE-array geometry and memory-hierarchy energy model. */
+struct ArrayConfig
+{
+    int rows = 16;                  //!< PE rows
+    int cols = 16;                  //!< PE columns
+    int64_t rfBytesPerPe = 1024;    //!< per-PE register file
+    int64_t glbBytes = 128 * 1024;  //!< shared global buffer
+    int64_t dramBitsPerCycle = 64;  //!< off-chip interface width
+
+    /** FP32 multiply-accumulate energy (pJ). */
+    double macPj = 16.8;
+
+    /** Register-file access energy (pJ / 32-bit word). */
+    double rfAccessPj = 5.2;
+
+    /** RF accesses charged per MAC (operand + psum traffic). */
+    double rfAccessesPerMac = 2.0;
+
+    /** Global-buffer access energy (pJ / 32-bit word). */
+    double glbAccessPj = 12.0;
+
+    /** DRAM access energy (pJ / 32-bit word). */
+    double dramAccessPj = 160.0;
+
+    /** Total PE count. */
+    int64_t pes() const { return static_cast<int64_t>(rows) * cols; }
+
+    /** DRAM words transferable per cycle. */
+    double
+    dramWordsPerCycle() const
+    {
+        return static_cast<double>(dramBitsPerCycle) / 32.0;
+    }
+
+    /** The paper's baseline 16x16 configuration. */
+    static ArrayConfig baseline16() { return {}; }
+
+    /**
+     * The 32x32 scalability configuration of Figure 20: 4x the PEs,
+     * GLB doubled over the 256-core size (a factor of sqrt(2) per
+     * array-side doubling).
+     */
+    static ArrayConfig
+    scaled32()
+    {
+        ArrayConfig c;
+        c.rows = 32;
+        c.cols = 32;
+        c.glbBytes = 256 * 1024;
+        return c;
+    }
+};
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_ARCH_CONFIG_H_

@@ -1,0 +1,87 @@
+#include "arch/area_model.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace arch {
+
+AreaModel::AreaModel(int64_t pe_count) : peCount_(pe_count)
+{
+    PROCRUSTES_ASSERT(pe_count > 0, "PE count must be positive");
+    // Component values from Table III (Synopsys DC, FreePDK 45 nm);
+    // power assumes the same dense computation on both machines.
+    components_ = {
+        {"FP32 MAC", 7.29, 18875.72, /*perPe=*/true, false},
+        {"Register File", 15.61, 198004.71, true, false},
+        {"PRNG (WR unit)", 0.35, 1920.84, true, true},
+        {"Mask Memory", 2.65, 44932.66, true, true},
+        {"Global Buffer", 73.74, 17109596.5, false, false},
+        {"Quantile Engine", 1.38, 9861.4, false, true},
+        {"Load Balancer", 2.05, 8725.23, false, true},
+    };
+}
+
+double
+AreaModel::totalArea(bool include_procrustes) const
+{
+    double total = 0.0;
+    for (const ComponentArea &c : components_) {
+        if (c.procrustesOnly && !include_procrustes)
+            continue;
+        total += c.areaUm2 *
+                 (c.perPe ? static_cast<double>(peCount_) : 1.0);
+    }
+    return total;
+}
+
+double
+AreaModel::totalPower(bool include_procrustes) const
+{
+    double total = 0.0;
+    for (const ComponentArea &c : components_) {
+        if (c.procrustesOnly && !include_procrustes)
+            continue;
+        total += c.powerMw *
+                 (c.perPe ? static_cast<double>(peCount_) : 1.0);
+    }
+    return total;
+}
+
+double
+AreaModel::baselineAreaUm2() const
+{
+    return totalArea(false);
+}
+
+double
+AreaModel::procrustesAreaUm2() const
+{
+    return totalArea(true);
+}
+
+double
+AreaModel::areaOverhead() const
+{
+    return procrustesAreaUm2() / baselineAreaUm2() - 1.0;
+}
+
+double
+AreaModel::baselinePowerMw() const
+{
+    return totalPower(false);
+}
+
+double
+AreaModel::procrustesPowerMw() const
+{
+    return totalPower(true);
+}
+
+double
+AreaModel::powerOverhead() const
+{
+    return procrustesPowerMw() / baselinePowerMw() - 1.0;
+}
+
+} // namespace arch
+} // namespace procrustes

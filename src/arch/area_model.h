@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Silicon area / power accounting (Table III).
+ *
+ * The paper synthesizes the Procrustes-specific modules with Synopsys
+ * DC in FreePDK 45 nm; synthesis is unavailable offline, so the
+ * component figures from Table III seed this model and the *roll-up
+ * arithmetic* — per-PE replication, system-level components, and the
+ * resulting area/power overhead over an equivalent dense accelerator —
+ * is recomputed rather than copied (DESIGN.md §4).
+ */
+
+#ifndef PROCRUSTES_ARCH_AREA_MODEL_H_
+#define PROCRUSTES_ARCH_AREA_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace procrustes {
+namespace arch {
+
+/** One synthesized component. */
+struct ComponentArea
+{
+    std::string name;
+    double powerMw = 0.0;
+    double areaUm2 = 0.0;
+    bool perPe = false;           //!< replicated once per PE
+    bool procrustesOnly = false;  //!< absent from the dense baseline
+};
+
+/** Area/power roll-up for a PE-array accelerator. */
+class AreaModel
+{
+  public:
+    /** Construct with the paper's Table III component values. */
+    explicit AreaModel(int64_t pe_count = 256);
+
+    /** Component table (for printing Table III). */
+    const std::vector<ComponentArea> &components() const
+    {
+        return components_;
+    }
+
+    /** Total area of the dense baseline (um^2). */
+    double baselineAreaUm2() const;
+
+    /** Total area of Procrustes (um^2). */
+    double procrustesAreaUm2() const;
+
+    /** Area overhead of Procrustes over the baseline (fraction). */
+    double areaOverhead() const;
+
+    /** Total baseline power on a dense workload (mW). */
+    double baselinePowerMw() const;
+
+    /** Total Procrustes power on the same dense workload (mW). */
+    double procrustesPowerMw() const;
+
+    /** Power overhead (fraction). */
+    double powerOverhead() const;
+
+    int64_t peCount() const { return peCount_; }
+
+  private:
+    double totalArea(bool include_procrustes) const;
+    double totalPower(bool include_procrustes) const;
+
+    int64_t peCount_;
+    std::vector<ComponentArea> components_;
+};
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_AREA_MODEL_H_

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Analytic latency / energy model ("Timeloop-lite").
+ *
+ * The paper evaluates Procrustes with Timeloop extended for sparse
+ * weight masks, sparse computation, encoding overheads, and load
+ * imbalance, plus Accelergy per-access energies (Section VI-A). This
+ * model reimplements that methodology from scratch:
+ *
+ *  Latency.  Work is issued in *waves* — full-PE-array sets of work
+ *  tiles, one tile per PE, tiles indexed by the mapping's two spatial
+ *  dimensions (Figure 4). Per-tile work scales with the local density
+ *  of the phase's sparse operand (from the mask's per-kernel structure)
+ *  and wave latency is the maximum over its tiles; the half-tile
+ *  balancer transforms the tile multiset before the max when the
+ *  mapping admits it. Utilization losses from dims that do not divide
+ *  the array fall out of the ceil arithmetic. A layer is additionally
+ *  bounded by DRAM bandwidth (64-bit interface).
+ *
+ *  Energy.  E = MACs*e_mac + MACs*k_rf*e_rf + GLB accesses*e_glb +
+ *  DRAM words*e_dram. GLB traffic per operand is its (sparse-adjusted)
+ *  unique volume times a refetch factor: one refetch per wave-block
+ *  along every spatial dim the operand does NOT depend on — multicast
+ *  within a wave is counted once, which is exactly the spatial-reuse
+ *  advantage the single-dimension flows preserve. Sparse weights add
+ *  CSB overheads (1 mask bit per dense element plus a pointer per
+ *  block); the ideal mode of Figure 1 drops them.
+ */
+
+#ifndef PROCRUSTES_ARCH_COST_MODEL_H_
+#define PROCRUSTES_ARCH_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/dataflow.h"
+#include "arch/load_balancer.h"
+#include "arch/sparsity_profile.h"
+
+namespace procrustes {
+namespace arch {
+
+/** Load-balancing policy applied by the model. */
+enum class BalanceMode
+{
+    None,       //!< tiles run where they land (Figure 4b)
+    HalfTile,   //!< Procrustes half-tile pairing along the sparse axis
+    FullChip,   //!< perfect chip-wide balancing (complex interconnect)
+};
+
+/** Model behaviour switches. */
+struct CostOptions
+{
+    /** Exploit sparsity (Procrustes) or run the dense baseline. */
+    bool sparse = true;
+
+    /** Balancing policy (only meaningful when sparse). */
+    BalanceMode balance = BalanceMode::HalfTile;
+
+    /**
+     * Figure 1 idealization: perfect load balance, zero-overhead
+     * compressed format, free retained-weight selection.
+     */
+    bool ideal = false;
+
+    /**
+     * When true, a layer's latency is bounded below by its DRAM
+     * traffic over the 64-bit interface. Default false: double
+     * buffering is assumed to overlap DRAM with compute (Timeloop's
+     * usual reporting); DRAM traffic always counts towards energy.
+     */
+    bool dramBound = false;
+};
+
+/**
+ * Kernels per work tile along the spatialized weight dimension:
+ * bounded by half the register file (weight-stationary residency) and
+ * never more than what one pass over the dimension requires. Single
+ * kernels only when the dimension is small or kernels are large.
+ */
+int64_t weightTileChunk(const ArrayConfig &cfg, const LayerShape &layer,
+                        int64_t ext, int64_t array_dim);
+
+/** Latency and energy of one (layer, phase) evaluation. */
+struct PhaseCost
+{
+    double cycles = 0.0;         //!< max(compute, DRAM-bound)
+    double computeCycles = 0.0;
+    double dramCycles = 0.0;
+    double macs = 0.0;           //!< effective (sparsity-skipped) MACs
+    double macEnergyJ = 0.0;
+    double rfEnergyJ = 0.0;
+    double glbEnergyJ = 0.0;
+    double dramEnergyJ = 0.0;
+
+    double
+    totalEnergyJ() const
+    {
+        return macEnergyJ + rfEnergyJ + glbEnergyJ + dramEnergyJ;
+    }
+
+    PhaseCost &operator+=(const PhaseCost &o);
+};
+
+/** Per-wave latency statistics (for the imbalance histograms). */
+struct WaveStats
+{
+    double maxWork = 0.0;    //!< wave latency (cycles)
+    double meanWork = 0.0;   //!< perfectly balanced latency
+
+    /** Execution overhead versus perfect balance (Figures 5/13). */
+    double
+    overhead() const
+    {
+        return meanWork > 0.0 ? maxWork / meanWork - 1.0 : 0.0;
+    }
+};
+
+/** Analytic per-phase cost model. */
+class CostModel
+{
+  public:
+    CostModel(const ArrayConfig &cfg, const CostOptions &opts)
+        : cfg_(cfg), opts_(opts)
+    {}
+
+    /** Evaluate one layer in one phase under one mapping. */
+    PhaseCost evaluatePhase(const LayerShape &layer, Phase phase,
+                            MappingKind mapping,
+                            const LayerSparsityProfile &profile,
+                            int64_t batch) const;
+
+    /** Per-wave latency stats (drives Figures 5 and 13). */
+    std::vector<WaveStats> waveStats(const LayerShape &layer, Phase phase,
+                                     MappingKind mapping,
+                                     const LayerSparsityProfile &profile,
+                                     int64_t batch) const;
+
+    const ArrayConfig &config() const { return cfg_; }
+    const CostOptions &options() const { return opts_; }
+
+  private:
+    /** Density of the phase's sparse operand, or 1 in dense mode. */
+    double effectiveDensity(Phase phase,
+                            const LayerSparsityProfile &profile) const;
+
+    /** Slice density of the sparse operand along one spatial dim. */
+    double sliceDensity(const LayerSparsityProfile &profile, Operand op,
+                        Dim d, int64_t idx) const;
+
+    /** Half-split slice densities (for the balancer). */
+    TileHalves sliceHalves(const LayerSparsityProfile &profile,
+                           Operand op, Dim d, int64_t idx) const;
+
+    /** Density when both spatial dims index the sparse operand. */
+    double pairDensity(const LayerSparsityProfile &profile, Operand op,
+                       Dim d0, int64_t i0, Dim d1, int64_t i1) const;
+
+    /** Compute-side latency: sum of wave maxima. */
+    double computeLatency(const LayerShape &layer, Phase phase,
+                          MappingKind mapping,
+                          const LayerSparsityProfile &profile,
+                          int64_t batch) const;
+
+    /** Wave stats for weight-sparse both-axes mappings (RF-chunked). */
+    std::vector<WaveStats> chunkedWeightWaves(
+        const LayerShape &layer, Phase phase, MappingKind mapping,
+        const LayerSparsityProfile &profile, int64_t batch) const;
+
+    /** GLB access count for the whole phase. */
+    double glbAccesses(const LayerShape &layer, Phase phase,
+                       MappingKind mapping,
+                       const LayerSparsityProfile &profile,
+                       int64_t batch) const;
+
+    /** DRAM words moved for the whole phase. */
+    double dramWords(const LayerShape &layer, Phase phase,
+                     const LayerSparsityProfile &profile,
+                     int64_t batch) const;
+
+    /** Stored (GLB/DRAM) word count of an operand in this phase. */
+    double storedWords(const LayerShape &layer, Phase phase, Operand op,
+                       const LayerSparsityProfile &profile,
+                       int64_t batch) const;
+
+    ArrayConfig cfg_;
+    CostOptions opts_;
+};
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_COST_MODEL_H_

@@ -1,0 +1,117 @@
+#include "arch/dataflow.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace arch {
+
+std::string
+mappingName(MappingKind m)
+{
+    switch (m) {
+      case MappingKind::CK:
+        return "CK";
+      case MappingKind::KN:
+        return "KN";
+      case MappingKind::CN:
+        return "CN";
+      case MappingKind::PQ:
+        return "PQ";
+    }
+    PANIC("unknown mapping");
+}
+
+std::array<Dim, 2>
+spatialDims(MappingKind m)
+{
+    switch (m) {
+      case MappingKind::CK:
+        return {Dim::C, Dim::K};
+      case MappingKind::KN:
+        return {Dim::K, Dim::N};
+      case MappingKind::CN:
+        return {Dim::C, Dim::N};
+      case MappingKind::PQ:
+        return {Dim::P, Dim::Q};
+    }
+    PANIC("unknown mapping");
+}
+
+std::string
+flowClassName(FlowClass f)
+{
+    switch (f) {
+      case FlowClass::Broadcast:
+        return "broadcast";
+      case FlowClass::MulticastRows:
+        return "multicast-H";
+      case FlowClass::MulticastCols:
+        return "multicast-V";
+      case FlowClass::ReduceRows:
+        return "reduce-H";
+      case FlowClass::ReduceCols:
+        return "reduce-V";
+      case FlowClass::ReduceAll:
+        return "reduce-all";
+      case FlowClass::Unicast:
+        return "unicast";
+    }
+    PANIC("unknown flow class");
+}
+
+FlowClass
+classifyFlow(Phase phase, Operand op, MappingKind m)
+{
+    const auto dims = spatialDims(m);
+    const bool dep_row = dependsOn(op, dims[0]);
+    const bool dep_col = dependsOn(op, dims[1]);
+    const bool is_output = op == outputOperand(phase);
+
+    if (is_output) {
+        if (dep_row && dep_col)
+            return FlowClass::Unicast;
+        if (dep_row)
+            return FlowClass::ReduceRows;   // combine along each row
+        if (dep_col)
+            return FlowClass::ReduceCols;   // combine along each column
+        return FlowClass::ReduceAll;
+    }
+    if (dep_row && dep_col)
+        return FlowClass::Unicast;
+    if (dep_row)
+        return FlowClass::MulticastRows;    // one value feeds a row
+    if (dep_col)
+        return FlowClass::MulticastCols;    // one value feeds a column
+    return FlowClass::Broadcast;
+}
+
+int64_t
+spatialReuse(Phase phase, Operand op, MappingKind m, int rows, int cols)
+{
+    (void)phase;
+    const auto dims = spatialDims(m);
+    int64_t reuse = 1;
+    if (!dependsOn(op, dims[0]))
+        reuse *= rows;
+    if (!dependsOn(op, dims[1]))
+        reuse *= cols;
+    return reuse;
+}
+
+bool
+supportsCheapBalancing(Phase phase, MappingKind m)
+{
+    const Operand sparse_op = sparseOperand(phase);
+    const auto dims = spatialDims(m);
+    const bool dep_row = dependsOn(sparse_op, dims[0]);
+    const bool dep_col = dependsOn(sparse_op, dims[1]);
+    // Exactly one sparse axis: rebalancing shuffles work along it while
+    // every flow on the other axis is untouched (Figure 12). Two sparse
+    // axes (e.g. C,K with weight sparsity) would need chip-wide
+    // exchange and a complex interconnect (Figure 10); zero sparse
+    // axes means the workload is already uniform across PEs.
+    return dep_row != dep_col;
+}
+
+} // namespace arch
+} // namespace procrustes

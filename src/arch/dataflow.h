@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Spatial mappings and dataflow classification (Sections II-C, IV-C).
+ *
+ * A mapping assigns two operation-space dimensions to the two axes of
+ * the PE array; the interconnect role of each operand then *follows*
+ * from its index set:
+ *
+ *   - depends on neither spatial dim  -> broadcast to the whole array;
+ *   - depends on one                  -> multicast along the other axis
+ *                                        (inputs) or spatially reduced
+ *                                        along it (outputs);
+ *   - depends on both                 -> unicast.
+ *
+ * This derivation reproduces the paper's tables: the weight-stationary
+ * C,K mapping of Figure 3 (x multicast-H, y reduce-V, w unicast) and
+ * the Procrustes K,N mapping of Figure 11 (w multicast-H, x
+ * multicast-V, y unicast) in every phase.
+ */
+
+#ifndef PROCRUSTES_ARCH_DATAFLOW_H_
+#define PROCRUSTES_ARCH_DATAFLOW_H_
+
+#include <array>
+#include <string>
+
+#include "arch/phase.h"
+
+namespace procrustes {
+namespace arch {
+
+/** The four spatial partitionings evaluated in the paper. */
+enum class MappingKind
+{
+    CK,   //!< weight-stationary input x output channels (Figure 3)
+    KN,   //!< Procrustes: output channels x minibatch (Figure 11)
+    CN,   //!< input channels x minibatch
+    PQ,   //!< activation-stationary output spatial (SCNN-style)
+};
+
+/** All mappings, for sweeps. */
+inline constexpr std::array<MappingKind, 4> kAllMappings = {
+    MappingKind::CK, MappingKind::KN, MappingKind::CN, MappingKind::PQ};
+
+/** Display name, e.g. "KN". */
+std::string mappingName(MappingKind m);
+
+/** The two spatialized dims: [0] -> array rows, [1] -> array columns. */
+std::array<Dim, 2> spatialDims(MappingKind m);
+
+/** Interconnect role of an operand under a mapping. */
+enum class FlowClass
+{
+    Broadcast,      //!< same value to every PE
+    MulticastRows,  //!< shared along each row (varies across rows)
+    MulticastCols,  //!< shared along each column (varies across cols)
+    ReduceRows,     //!< output reduced along each row
+    ReduceCols,     //!< output reduced along each column
+    ReduceAll,      //!< output reduced across the whole array
+    Unicast,        //!< distinct value per PE
+};
+
+/** Display name for a flow class. */
+std::string flowClassName(FlowClass f);
+
+/**
+ * Classify the interconnect role of `op` in `phase` under mapping `m`.
+ *
+ * Inputs that do not depend on a spatial dim are shared across the
+ * axis that dim is mapped to; outputs that do not depend on a spatial
+ * dim are reduced across that axis.
+ */
+FlowClass classifyFlow(Phase phase, Operand op, MappingKind m);
+
+/**
+ * Spatial reuse factor: how many PEs share (inputs) or combine
+ * (outputs) one value of `op` within a full wave of an rows x cols
+ * array. 1 for unicast operands.
+ */
+int64_t spatialReuse(Phase phase, Operand op, MappingKind m, int rows,
+                     int cols);
+
+/**
+ * True when the mapping admits the Procrustes half-tile load balancer
+ * for this phase: the phase's sparse operand must depend on exactly
+ * one spatial dim (the balancing axis), and the other axis must carry
+ * a dense dimension so rebalancing does not perturb its flows
+ * (Figure 12). The C,K mapping fails this test — balancing it needs
+ * the complex all-to-all interconnect of Figure 10.
+ */
+bool supportsCheapBalancing(Phase phase, MappingKind m);
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_DATAFLOW_H_

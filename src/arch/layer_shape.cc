@@ -1,0 +1,73 @@
+#include "arch/layer_shape.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace arch {
+
+int64_t
+LayerShape::macsPerSample() const
+{
+    return K * effectiveC() * R * S * P * Q;
+}
+
+int64_t
+LayerShape::weightCount() const
+{
+    return K * effectiveC() * R * S;
+}
+
+int64_t
+LayerShape::iactsPerSample() const
+{
+    return C * inH() * inW();
+}
+
+LayerShape
+convLayer(const std::string &name, int64_t c, int64_t k, int64_t kernel,
+          int64_t in_hw, int64_t stride, int64_t pad)
+{
+    PROCRUSTES_ASSERT(c > 0 && k > 0 && kernel > 0 && in_hw > 0 &&
+                          stride > 0,
+                      "bad conv geometry");
+    if (pad < 0)
+        pad = kernel / 2;   // "same" padding by default
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::Conv;
+    l.C = c;
+    l.K = k;
+    l.R = kernel;
+    l.S = kernel;
+    l.stride = stride;
+    l.P = (in_hw + 2 * pad - kernel) / stride + 1;
+    l.Q = l.P;
+    PROCRUSTES_ASSERT(l.P > 0, "conv output collapsed to zero");
+    return l;
+}
+
+LayerShape
+depthwiseLayer(const std::string &name, int64_t channels, int64_t kernel,
+               int64_t in_hw, int64_t stride)
+{
+    LayerShape l = convLayer(name, channels, channels, kernel, in_hw,
+                             stride);
+    l.type = LayerType::DepthwiseConv;
+    return l;
+}
+
+LayerShape
+fcLayer(const std::string &name, int64_t in_features, int64_t out_features)
+{
+    PROCRUSTES_ASSERT(in_features > 0 && out_features > 0,
+                      "bad fc geometry");
+    LayerShape l;
+    l.name = name;
+    l.type = LayerType::FullyConnected;
+    l.C = in_features;
+    l.K = out_features;
+    return l;
+}
+
+} // namespace arch
+} // namespace procrustes

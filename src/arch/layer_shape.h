@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Layer geometry for the accelerator performance model.
+ *
+ * A layer is described by the seven dimensions of the paper's operation
+ * space (Algorithm 1): minibatch N (supplied at evaluation time), output
+ * channels K, input channels C, filter extents R and S, and output
+ * spatial extents P and Q. Fully-connected layers are the degenerate
+ * case R = S = P = Q = 1; depthwise convolutions (MobileNet v2) connect
+ * each output channel to a single input channel.
+ */
+
+#ifndef PROCRUSTES_ARCH_LAYER_SHAPE_H_
+#define PROCRUSTES_ARCH_LAYER_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace procrustes {
+namespace arch {
+
+/** Structural class of a layer. */
+enum class LayerType
+{
+    Conv,            //!< standard convolution
+    DepthwiseConv,   //!< one filter per channel (groups == C)
+    FullyConnected,  //!< matrix multiply
+};
+
+/** Geometry of one layer of the operation space. */
+struct LayerShape
+{
+    std::string name;
+    LayerType type = LayerType::Conv;
+    int64_t K = 0;       //!< output channels (fc: output features)
+    int64_t C = 0;       //!< input channels (fc: input features)
+    int64_t R = 1;       //!< filter height
+    int64_t S = 1;       //!< filter width
+    int64_t P = 1;       //!< output height (fc: 1)
+    int64_t Q = 1;       //!< output width (fc: 1)
+    int64_t stride = 1;
+
+    /** Dense multiply-accumulates per input sample. */
+    int64_t macsPerSample() const;
+
+    /** Number of weights. */
+    int64_t weightCount() const;
+
+    /** Input activation height (approximate inverse of the conv map). */
+    int64_t inH() const { return (P - 1) * stride + R; }
+
+    /** Input activation width. */
+    int64_t inW() const { return (Q - 1) * stride + S; }
+
+    /** Input activation element count per sample. */
+    int64_t iactsPerSample() const;
+
+    /** Output activation element count per sample. */
+    int64_t oactsPerSample() const { return K * P * Q; }
+
+    /**
+     * Effective input-channel extent per filter: 1 for depthwise
+     * convolutions, C otherwise. This is the "C" that appears in the
+     * MAC loop nest.
+     */
+    int64_t effectiveC() const
+    {
+        return type == LayerType::DepthwiseConv ? 1 : C;
+    }
+};
+
+/** Convenience constructors. */
+LayerShape convLayer(const std::string &name, int64_t c, int64_t k,
+                     int64_t kernel, int64_t in_hw, int64_t stride = 1,
+                     int64_t pad = -1);
+LayerShape depthwiseLayer(const std::string &name, int64_t channels,
+                          int64_t kernel, int64_t in_hw,
+                          int64_t stride = 1);
+LayerShape fcLayer(const std::string &name, int64_t in_features,
+                   int64_t out_features);
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_LAYER_SHAPE_H_

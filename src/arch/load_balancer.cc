@@ -1,0 +1,49 @@
+#include "arch/load_balancer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace arch {
+
+std::vector<double>
+rebalanceHalfTiles(const std::vector<TileHalves> &tiles)
+{
+    std::vector<double> halves;
+    halves.reserve(tiles.size() * 2);
+    for (const TileHalves &t : tiles) {
+        halves.push_back(t.first);
+        halves.push_back(t.second);
+    }
+    std::sort(halves.begin(), halves.end());
+
+    const size_t n = tiles.size();
+    std::vector<double> combined(n);
+    for (size_t i = 0; i < n; ++i)
+        combined[i] = halves[i] + halves[2 * n - 1 - i];
+    return combined;
+}
+
+double
+rebalancedMax(const std::vector<TileHalves> &tiles)
+{
+    PROCRUSTES_ASSERT(!tiles.empty(), "empty working set");
+    double worst = 0.0;
+    for (double w : rebalanceHalfTiles(tiles))
+        worst = std::max(worst, w);
+    return worst;
+}
+
+double
+unbalancedMax(const std::vector<TileHalves> &tiles)
+{
+    PROCRUSTES_ASSERT(!tiles.empty(), "empty working set");
+    double worst = 0.0;
+    for (const TileHalves &t : tiles)
+        worst = std::max(worst, t.total());
+    return worst;
+}
+
+} // namespace arch
+} // namespace procrustes

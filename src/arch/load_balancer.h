@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Procrustes half-tile load balancer (Section IV-C, Figure 9).
+ *
+ * Work tiles are cut in half along the sparse dimension; because
+ * sparsity is uneven, the two halves carry different work. All halves
+ * of one full-PE-array working set are sorted by work and matched from
+ * opposite ends — the lightest half with the heaviest, the second
+ * lightest with the second heaviest, and so on — so every recombined
+ * tile lands close to the average. With the minibatch-spatial dataflow
+ * (K,N or C,N) the exchange happens along a single array axis, so the
+ * interconnect is untouched (Figure 12).
+ */
+
+#ifndef PROCRUSTES_ARCH_LOAD_BALANCER_H_
+#define PROCRUSTES_ARCH_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace procrustes {
+namespace arch {
+
+/** Work carried by the two halves of one tile. */
+struct TileHalves
+{
+    double first = 0.0;
+    double second = 0.0;
+
+    double total() const { return first + second; }
+};
+
+/**
+ * Rebalance a working set of tiles by half-tile pairing.
+ *
+ * @param tiles per-slot half works (one entry per PE slot).
+ * @return per-slot work after pairing; same size as the input,
+ *         sorted by construction from heaviest pair to lightest.
+ */
+std::vector<double> rebalanceHalfTiles(const std::vector<TileHalves> &tiles);
+
+/** Maximum per-slot work after rebalancing (wave latency). */
+double rebalancedMax(const std::vector<TileHalves> &tiles);
+
+/** Maximum per-slot work without rebalancing. */
+double unbalancedMax(const std::vector<TileHalves> &tiles);
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_LOAD_BALANCER_H_

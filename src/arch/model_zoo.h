@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Layer geometries of the five CNNs the paper evaluates (Table II):
+ * VGG-S, WRN-28-10, DenseNet (growth 24, 3 blocks x 10 layers) on
+ * CIFAR-10, and ResNet18, MobileNet v2 on ImageNet.
+ *
+ * The zoo provides exact per-layer operation-space dimensions for the
+ * performance model, together with the paper's reference numbers
+ * (sparsity factors, accuracies, epoch counts) used by the Table II
+ * bench. Mask generation at a network's target sparsity introduces
+ * mild layer-level density variation plus kernel-level lognormal
+ * structure, standing in for masks extracted from PyTorch runs
+ * (DESIGN.md §4).
+ */
+
+#ifndef PROCRUSTES_ARCH_MODEL_ZOO_H_
+#define PROCRUSTES_ARCH_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/layer_shape.h"
+#include "arch/sparsity_profile.h"
+#include "sparse/mask.h"
+
+namespace procrustes {
+namespace arch {
+
+/** A network as seen by the performance model. */
+struct NetworkModel
+{
+    std::string name;
+    std::string dataset;
+    std::vector<LayerShape> layers;
+
+    /** Mean input-activation density per layer (1.0 for raw images). */
+    std::vector<double> iactDensity;
+
+    /** @name Paper reference values (Table II). */
+    /**@{*/
+    double paperSparsity = 1.0;   //!< weight compression factor
+    int paperEpochs = 0;
+    double paperDenseAccuracy = 0.0;
+    double paperPrunedAccuracy = 0.0;
+    /**@}*/
+
+    /** Total weights across all layers. */
+    int64_t denseWeights() const;
+
+    /** Total MACs per input sample. */
+    int64_t denseMacsPerSample() const;
+};
+
+/** VGG-S: the 9.2x-reduced VGG-16 (~15M weights) on CIFAR-10. */
+NetworkModel buildVggS();
+
+/** WRN-28-10 (~36M weights) on CIFAR-10. */
+NetworkModel buildWrn2810();
+
+/** DenseNet, growth 24, 3 blocks x 10 layers (~2.7M) on CIFAR-10. */
+NetworkModel buildDenseNetS();
+
+/** ResNet18 (~11.7M weights) on ImageNet. */
+NetworkModel buildResNet18();
+
+/** MobileNet v2 (~3.5M weights) on ImageNet. */
+NetworkModel buildMobileNetV2();
+
+/** All five evaluation networks, in the paper's Table II order. */
+std::vector<NetworkModel> allModels();
+
+/**
+ * Generate per-layer weight masks at the network's overall sparsity
+ * factor: layer densities vary lognormally (sigma ~0.4, renormalized
+ * so the weighted mean hits 1/sparsity exactly) and kernels inside a
+ * layer vary with the given lognormal sigma.
+ */
+std::vector<sparse::SparsityMask>
+generateMasks(const NetworkModel &model, double sparsity, uint64_t seed,
+              double kernel_sigma = 0.3);
+
+/** Bundle masks and activation densities into cost-model profiles. */
+std::vector<LayerSparsityProfile>
+buildProfiles(const NetworkModel &model,
+              const std::vector<sparse::SparsityMask> &masks,
+              double iact_sigma = 0.1);
+
+/** Dense profiles (weight density 1) for the baseline accelerator. */
+std::vector<LayerSparsityProfile>
+buildDenseProfiles(const NetworkModel &model);
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_MODEL_ZOO_H_

@@ -1,0 +1,104 @@
+#include "arch/phase.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace arch {
+
+std::string
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Forward:
+        return "fw";
+      case Phase::Backward:
+        return "bw";
+      case Phase::WeightUpdate:
+        return "wu";
+    }
+    PANIC("unknown phase");
+}
+
+Operand
+outputOperand(Phase p)
+{
+    switch (p) {
+      case Phase::Forward:
+        return Operand::Oacts;        // y
+      case Phase::Backward:
+        return Operand::Iacts;        // dL/dx
+      case Phase::WeightUpdate:
+        return Operand::Weights;      // dL/dw
+    }
+    PANIC("unknown phase");
+}
+
+bool
+dependsOn(Operand op, Dim d)
+{
+    switch (op) {
+      case Operand::Weights:
+        return d == Dim::K || d == Dim::C || d == Dim::R || d == Dim::S;
+      case Operand::Iacts:
+        // Input activations index the spatial halo P*stride+R-1 etc.;
+        // for dependence analysis P/Q stand in for H/W.
+        return d == Dim::N || d == Dim::C || d == Dim::P || d == Dim::Q;
+      case Operand::Oacts:
+        return d == Dim::N || d == Dim::K || d == Dim::P || d == Dim::Q;
+    }
+    PANIC("unknown operand");
+}
+
+int64_t
+dimExtent(const LayerShape &layer, Dim d, int64_t batch)
+{
+    switch (d) {
+      case Dim::N:
+        return batch;
+      case Dim::K:
+        return layer.K;
+      case Dim::C:
+        // Depthwise convolutions bind C to K one-to-one; the
+        // independent C extent is 1 (see DESIGN.md §5).
+        return layer.type == LayerType::DepthwiseConv ? 1 : layer.C;
+      case Dim::P:
+        return layer.P;
+      case Dim::Q:
+        return layer.Q;
+      case Dim::R:
+        return layer.R;
+      case Dim::S:
+        return layer.S;
+    }
+    PANIC("unknown dim");
+}
+
+Operand
+sparseOperand(Phase p)
+{
+    switch (p) {
+      case Phase::Forward:
+      case Phase::Backward:
+        return Operand::Weights;
+      case Phase::WeightUpdate:
+        return Operand::Iacts;
+    }
+    PANIC("unknown phase");
+}
+
+int64_t
+operandVolume(const LayerShape &layer, Operand op, int64_t batch)
+{
+    switch (op) {
+      case Operand::Weights:
+        return layer.weightCount();
+      case Operand::Iacts:
+        return batch * layer.iactsPerSample();
+      case Operand::Oacts:
+        return batch * layer.oactsPerSample();
+    }
+    PANIC("unknown operand");
+}
+
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Training phases and the per-phase Einsum structure (Figure 2).
+ *
+ * Each training phase is a contraction `out += a * b` over the 7-D
+ * operation space:
+ *
+ *   forward:        y[N,K,P,Q]  += w[K,C,R,S]        * x[N,C,H,W]
+ *   backward:       dx[N,C,H,W] += rot180(w)[K,C,R,S] * dy[N,K,P,Q]
+ *   weight update:  dw[K,C,R,S] += x[N,C,H,W]        * dy[N,K,P,Q]
+ *
+ * The dataflow framework only needs each operand's index set (which
+ * dimensions it depends on) and which operand is sparse in which phase:
+ * weights in fw/bw, input activations in wu. The back-propagated
+ * gradient dy is dense because batch normalization destroys its
+ * sparsity (Section II-B).
+ */
+
+#ifndef PROCRUSTES_ARCH_PHASE_H_
+#define PROCRUSTES_ARCH_PHASE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "arch/layer_shape.h"
+
+namespace procrustes {
+namespace arch {
+
+/** The three training phases. */
+enum class Phase
+{
+    Forward,
+    Backward,
+    WeightUpdate,
+};
+
+/** Short display name: "fw", "bw", "wu". */
+std::string phaseName(Phase p);
+
+/** Dimensions of the operation space that can index an operand. */
+enum class Dim : int
+{
+    N = 0,  //!< minibatch
+    K,      //!< output channels
+    C,      //!< input channels
+    P,      //!< output y
+    Q,      //!< output x
+    R,      //!< filter y
+    S,      //!< filter x
+};
+
+/** Operand roles in the phase Einsum. */
+enum class Operand
+{
+    Weights,     //!< w (fw, bw) or dw (wu output)
+    Iacts,       //!< x (fw, wu) or dx (bw output)
+    Oacts,       //!< y (fw output) or dy (bw, wu)
+};
+
+/** All three operands, for iteration. */
+inline constexpr std::array<Operand, 3> kAllOperands = {
+    Operand::Weights, Operand::Iacts, Operand::Oacts};
+
+/** The output operand of a phase (the other two are inputs). */
+Operand outputOperand(Phase p);
+
+/** Does `op` depend on dimension `d`? (Index-set membership.) */
+bool dependsOn(Operand op, Dim d);
+
+/** Extent of dimension d for a layer at the given minibatch size. */
+int64_t dimExtent(const LayerShape &layer, Dim d, int64_t batch);
+
+/**
+ * The sparse input operand of each phase under the Procrustes policy
+ * (one source of sparsity per phase, Section I insight 1): weights in
+ * fw and bw, input activations in wu.
+ */
+Operand sparseOperand(Phase p);
+
+/**
+ * Unique element count of an operand for one layer at a batch size
+ * (dense volume; input activations use the halo-inclusive H x W).
+ */
+int64_t operandVolume(const LayerShape &layer, Operand op, int64_t batch);
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_PHASE_H_

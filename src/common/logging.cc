@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace procrustes {
+
+namespace detail {
+
+void
+logMessage(const char *prefix, const char *file, int line,
+           const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file,
+                 line);
+}
+
+} // namespace detail
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    detail::logMessage("panic", file, line, msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    detail::logMessage("fatal", file, line, msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    detail::logMessage("warn", file, line, msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace procrustes

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 spirit.
+ *
+ * Two error functions with distinct purposes:
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does (an actual library bug). Aborts.
+ *  - fatal():  the run cannot continue due to a user-side condition (bad
+ *              configuration, invalid arguments). Exits with code 1.
+ *
+ * Two status functions that never stop execution:
+ *  - warn():   functionality may not behave exactly as expected.
+ *  - inform(): normal operating messages.
+ */
+
+#ifndef PROCRUSTES_COMMON_LOGGING_H_
+#define PROCRUSTES_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace procrustes {
+
+namespace detail {
+
+/** Print a formatted diagnostic line with a severity prefix. */
+void logMessage(const char *prefix, const char *file, int line,
+                const std::string &msg);
+
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report an unrecoverable user-side error and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report a suspicious-but-survivable condition. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Report a normal status message. */
+void informImpl(const std::string &msg);
+
+} // namespace procrustes
+
+#define PANIC(msg) ::procrustes::panicImpl(__FILE__, __LINE__, (msg))
+#define FATAL(msg) ::procrustes::fatalImpl(__FILE__, __LINE__, (msg))
+#define WARN(msg) ::procrustes::warnImpl(__FILE__, __LINE__, (msg))
+#define INFORM(msg) ::procrustes::informImpl((msg))
+
+/** Panic unless an internal invariant holds. */
+#define PROCRUSTES_ASSERT(cond, msg)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            PANIC(std::string("assertion failed: ") + #cond + ": " + (msg));\
+        }                                                                   \
+    } while (0)
+
+#endif // PROCRUSTES_COMMON_LOGGING_H_

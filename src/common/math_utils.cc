@@ -1,0 +1,46 @@
+#include "common/math_utils.h"
+
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace procrustes {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+exactQuantile(std::vector<double> xs, double q)
+{
+    PROCRUSTES_ASSERT(!xs.empty(), "quantile of empty sample");
+    PROCRUSTES_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    const auto n = xs.size();
+    const auto idx = static_cast<size_t>(
+        clampd(q * static_cast<double>(n - 1), 0.0,
+               static_cast<double>(n - 1)));
+    std::nth_element(xs.begin(), xs.begin() + static_cast<long>(idx),
+                     xs.end());
+    return xs[idx];
+}
+
+} // namespace procrustes

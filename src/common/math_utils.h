@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small numeric helpers shared across the library.
+ */
+
+#ifndef PROCRUSTES_COMMON_MATH_UTILS_H_
+#define PROCRUSTES_COMMON_MATH_UTILS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace procrustes {
+
+/** Ceiling division for non-negative integers. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the next multiple of b. */
+constexpr int64_t
+roundUp(int64_t a, int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Arithmetic mean of a sample; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a sample; 0 for size < 2. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Exact empirical quantile via nth_element (copies the input).
+ * q in [0, 1]; q = 0 is the minimum, q = 1 the maximum.
+ */
+double exactQuantile(std::vector<double> xs, double q);
+
+/** Clamp helper mirroring std::clamp with deduced double args. */
+inline double
+clampd(double x, double lo, double hi)
+{
+    return std::min(std::max(x, lo), hi);
+}
+
+} // namespace procrustes
+
+#endif // PROCRUSTES_COMMON_MATH_UTILS_H_

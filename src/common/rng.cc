@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace procrustes {
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+Xorshift128Plus::Xorshift128Plus(uint64_t seed)
+{
+    s0_ = splitmix64(seed);
+    s1_ = splitmix64(s0_);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Xorshift128Plus::next()
+{
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+double
+Xorshift128Plus::nextDouble()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Xorshift128Plus::nextBounded(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Xorshift128Plus::nextGaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u;
+    double v;
+    double s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    haveSpare_ = true;
+    return u * mul;
+}
+
+uint32_t
+statelessUniform32(uint64_t seed, uint64_t index, uint32_t lane)
+{
+    // Mix (seed, index, lane) into a xorshift state, then clock the
+    // generator a fixed number of steps, mirroring the hardware WR
+    // unit: identical inputs always reproduce identical bits.
+    const uint64_t mixed =
+        splitmix64(seed ^ splitmix64(index ^ (uint64_t{lane} << 32)));
+    Xorshift32 gen(static_cast<uint32_t>(mixed ^ (mixed >> 32)));
+    gen.next();
+    gen.next();
+    return gen.next();
+}
+
+int64_t
+statelessGaussianSum3(uint64_t seed, uint64_t index)
+{
+    int64_t sum = 0;
+    for (uint32_t lane = 0; lane < 3; ++lane) {
+        const uint32_t bits = statelessUniform32(seed, index, lane);
+        // Centre each uniform draw at zero before summing.
+        sum += static_cast<int64_t>(static_cast<int32_t>(bits));
+    }
+    return sum;
+}
+
+} // namespace procrustes

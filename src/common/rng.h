@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Xorshift pseudo-random number generators (Marsaglia, 2003).
+ *
+ * Procrustes' per-PE Weight-Recompute (WR) unit is built from three
+ * xorshift generators whose outputs are summed to produce an
+ * approximately Gaussian value (Section V of the paper). Unlike a
+ * conventional RNG, the WR unit holds no hidden state: its output is a
+ * pure function of (seed, weight index). The stateless helpers below
+ * provide exactly that contract; the stateful Xorshift32 /
+ * Xorshift128Plus classes serve general simulation needs.
+ */
+
+#ifndef PROCRUSTES_COMMON_RNG_H_
+#define PROCRUSTES_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace procrustes {
+
+/**
+ * The classic 32-bit xorshift generator (Marsaglia 2003, "Xorshift
+ * RNGs"), period 2^32 - 1. State must never be zero.
+ */
+class Xorshift32
+{
+  public:
+    /** Construct from a nonzero seed; zero is remapped to a constant. */
+    explicit Xorshift32(uint32_t seed = 0x9e3779b9u)
+        : state_(seed ? seed : 0x9e3779b9u)
+    {}
+
+    /** Advance the generator and return the next 32-bit value. */
+    uint32_t
+    next()
+    {
+        uint32_t x = state_;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        state_ = x;
+        return x;
+    }
+
+    /** Current internal state (useful for checkpointing tests). */
+    uint32_t state() const { return state_; }
+
+  private:
+    uint32_t state_;
+};
+
+/**
+ * xorshift128+ generator: fast, 64-bit output, good statistical quality
+ * for simulation workloads (not cryptographic).
+ */
+class Xorshift128Plus
+{
+  public:
+    /** Seed both lanes via splitmix64 so any 64-bit seed is usable. */
+    explicit Xorshift128Plus(uint64_t seed = 0x853c49e6748fea9bULL);
+
+    /** Advance and return the next 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [0, 1). */
+    float nextFloat() { return static_cast<float>(nextDouble()); }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Standard normal variate (Box-Muller; consumes two outputs). */
+    double nextGaussian();
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * splitmix64 finalizer: used to derive well-mixed per-index states from
+ * (seed, index) pairs. This is the statelessness backbone of the WR
+ * unit model.
+ */
+uint64_t splitmix64(uint64_t x);
+
+/**
+ * Stateless uniform 32-bit draw, a pure function of (seed, index, lane).
+ *
+ * Models one of the WR unit's xorshift generators: the hardware seeds a
+ * xorshift from a mix of the layer seed and the weight index and clocks
+ * it a fixed number of times, so the same (seed, index) always yields
+ * the same bits.
+ */
+uint32_t statelessUniform32(uint64_t seed, uint64_t index, uint32_t lane);
+
+/**
+ * Sum of three stateless xorshift outputs, centred at zero.
+ *
+ * By the central limit theorem the sum of three independent uniforms is
+ * approximately Gaussian (an Irwin-Hall(3) distribution); this is the
+ * distribution the WR unit produces before integer scaling. The result
+ * is returned as a signed 64-bit integer in
+ * (-3 * 2^31, +3 * 2^31).
+ */
+int64_t statelessGaussianSum3(uint64_t seed, uint64_t index);
+
+} // namespace procrustes
+
+#endif // PROCRUSTES_COMMON_RNG_H_

@@ -1,0 +1,46 @@
+#include "nn/activations.h"
+
+namespace procrustes {
+namespace nn {
+
+Tensor
+ReLU::forward(const Tensor &x, bool)
+{
+    Tensor y(x.shape());
+    mask_ = Tensor(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+    float *pm = mask_.data();
+    const int64_t n = x.numel();
+    int64_t zeros = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        if (px[i] > 0.0f) {
+            py[i] = px[i];
+            pm[i] = 1.0f;
+        } else {
+            ++zeros;
+        }
+    }
+    lastSparsity_ = n ? static_cast<double>(zeros) /
+                            static_cast<double>(n)
+                      : 0.0;
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(dy.shape() == mask_.shape(),
+                      "dy shape mismatch in relu backward");
+    Tensor dx(dy.shape());
+    const float *pdy = dy.data();
+    const float *pm = mask_.data();
+    float *pdx = dx.data();
+    const int64_t n = dy.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pdx[i] = pdy[i] * pm[i];
+    return dx;
+}
+
+} // namespace nn
+} // namespace procrustes

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * 2-D batch normalization with manual backprop.
+ *
+ * Batch norm matters to Procrustes beyond accuracy: Section II-B
+ * observes that back-propagating through it *destroys* the sparsity of
+ * dL/dy, which is why the accelerator exploits only weight sparsity in
+ * the backward pass. The implementation exposes the gradient-density
+ * measurement used to verify that claim in tests.
+ */
+
+#ifndef PROCRUSTES_NN_BATCHNORM_H_
+#define PROCRUSTES_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace procrustes {
+namespace nn {
+
+/** Per-channel batch normalization over N, H, W of an NCHW tensor. */
+class BatchNorm2d : public Layer
+{
+  public:
+    /** Construct for `channels` feature maps. */
+    BatchNorm2d(int64_t channels, const std::string &layer_name,
+                float momentum = 0.1f, float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return name_; }
+
+    Param &gamma() { return gamma_; }
+    Param &beta() { return beta_; }
+
+  private:
+    int64_t channels_;
+    std::string name_;
+    float momentum_;
+    float eps_;
+    Param gamma_;
+    Param beta_;
+    Tensor runningMean_;
+    Tensor runningVar_;
+    // Cached forward-pass state for backward().
+    Tensor cachedXhat_;
+    std::vector<float> cachedInvStd_;
+    int64_t cachedCount_ = 0;
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_BATCHNORM_H_

@@ -1,0 +1,155 @@
+#include "nn/conv2d.h"
+
+namespace procrustes {
+namespace nn {
+
+Conv2d::Conv2d(const Conv2dConfig &cfg, const std::string &layer_name)
+    : cfg_(cfg), name_(layer_name)
+{
+    PROCRUSTES_ASSERT(cfg.inChannels > 0 && cfg.outChannels > 0,
+                      "conv channels must be positive");
+    PROCRUSTES_ASSERT(cfg.kernel > 0 && cfg.stride > 0 && cfg.pad >= 0,
+                      "bad conv geometry");
+    weight_.init(Shape{cfg.outChannels, cfg.inChannels, cfg.kernel,
+                       cfg.kernel},
+                 name_ + ".weight", /*can_prune=*/true);
+    if (cfg.bias) {
+        bias_.init(Shape{cfg.outChannels}, name_ + ".bias",
+                   /*can_prune=*/false);
+    }
+}
+
+std::vector<Param *>
+Conv2d::params()
+{
+    std::vector<Param *> out{&weight_};
+    if (cfg_.bias)
+        out.push_back(&bias_);
+    return out;
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, bool)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4, "conv input must be NCHW");
+    PROCRUSTES_ASSERT(xs[1] == cfg_.inChannels, "conv channel mismatch");
+    const int64_t n = xs[0];
+    const int64_t c = xs[1];
+    const int64_t h = xs[2];
+    const int64_t w = xs[3];
+    const int64_t k = cfg_.outChannels;
+    const int64_t r = cfg_.kernel;
+    const int64_t p = outExtent(h);
+    const int64_t q = outExtent(w);
+    PROCRUSTES_ASSERT(p > 0 && q > 0, "conv output would be empty");
+
+    cachedInput_ = x;
+    Tensor y(Shape{n, k, p, q});
+
+    const float *px = x.data();
+    const float *pw = weight_.value.data();
+    float *py = y.data();
+
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ok = 0; ok < k; ++ok) {
+            const float b =
+                cfg_.bias ? bias_.value.data()[ok] : 0.0f;
+            for (int64_t op = 0; op < p; ++op) {
+                for (int64_t oq = 0; oq < q; ++oq) {
+                    float acc = b;
+                    for (int64_t ic = 0; ic < c; ++ic) {
+                        for (int64_t ir = 0; ir < r; ++ir) {
+                            const int64_t ih =
+                                op * cfg_.stride + ir - cfg_.pad;
+                            if (ih < 0 || ih >= h)
+                                continue;
+                            const float *xrow =
+                                px + ((in * c + ic) * h + ih) * w;
+                            const float *wrow =
+                                pw + ((ok * c + ic) * r + ir) * r;
+                            for (int64_t is = 0; is < r; ++is) {
+                                const int64_t iw =
+                                    oq * cfg_.stride + is - cfg_.pad;
+                                if (iw < 0 || iw >= w)
+                                    continue;
+                                acc += xrow[iw] * wrow[is];
+                            }
+                        }
+                    }
+                    py[((in * k + ok) * p + op) * q + oq] = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor &dy)
+{
+    const Shape &xs = cachedInput_.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4, "backward before forward");
+    const int64_t n = xs[0];
+    const int64_t c = xs[1];
+    const int64_t h = xs[2];
+    const int64_t w = xs[3];
+    const int64_t k = cfg_.outChannels;
+    const int64_t r = cfg_.kernel;
+    const int64_t p = outExtent(h);
+    const int64_t q = outExtent(w);
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, k, p, q}),
+                      "dy shape mismatch in conv backward");
+
+    Tensor dx(xs);
+    const float *px = cachedInput_.data();
+    const float *pw = weight_.value.data();
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    float *pdw = weight_.grad.data();
+
+    // Weight update pass: dW[k,c,r,s] += sum_{n,p,q} dy[n,k,p,q] *
+    // x[n,c,p*stride+r-pad,q*stride+s-pad]; and backward pass:
+    // dx[n,c,ih,iw] += sum dy[n,k,p,q] * w[k,c,r,s]. Both share the
+    // same traversal, so fuse them.
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ok = 0; ok < k; ++ok) {
+            for (int64_t op = 0; op < p; ++op) {
+                for (int64_t oq = 0; oq < q; ++oq) {
+                    const float g =
+                        pdy[((in * k + ok) * p + op) * q + oq];
+                    if (g == 0.0f)
+                        continue;
+                    for (int64_t ic = 0; ic < c; ++ic) {
+                        for (int64_t ir = 0; ir < r; ++ir) {
+                            const int64_t ih =
+                                op * cfg_.stride + ir - cfg_.pad;
+                            if (ih < 0 || ih >= h)
+                                continue;
+                            const float *xrow =
+                                px + ((in * c + ic) * h + ih) * w;
+                            float *dxrow =
+                                pdx + ((in * c + ic) * h + ih) * w;
+                            const int64_t wbase =
+                                ((ok * c + ic) * r + ir) * r;
+                            for (int64_t is = 0; is < r; ++is) {
+                                const int64_t iw =
+                                    oq * cfg_.stride + is - cfg_.pad;
+                                if (iw < 0 || iw >= w)
+                                    continue;
+                                pdw[wbase + is] += g * xrow[iw];
+                                dxrow[iw] += g * pw[wbase + is];
+                            }
+                        }
+                    }
+                    if (cfg_.bias)
+                        bias_.grad.data()[ok] += g;
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace nn
+} // namespace procrustes

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * 2-D convolution layer with full manual backprop (NCHW / KCRS).
+ *
+ * This is the workhorse of all three training phases in Figure 2 of the
+ * paper: forward() is the fw pass (x * W -> y), and backward() computes
+ * both the bw pass (dy * rot180(W) -> dx) and the weight-update pass
+ * (x * dy -> dW) — exactly the three convolutions the accelerator's
+ * dataflows must serve.
+ */
+
+#ifndef PROCRUSTES_NN_CONV2D_H_
+#define PROCRUSTES_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace procrustes {
+namespace nn {
+
+/** Configuration for a Conv2d layer. */
+struct Conv2dConfig
+{
+    int64_t inChannels = 0;
+    int64_t outChannels = 0;
+    int64_t kernel = 3;     //!< square kernel (R = S = kernel)
+    int64_t stride = 1;
+    int64_t pad = 0;
+    bool bias = true;
+};
+
+/** Direct (loop-nest) 2-D convolution layer. */
+class Conv2d : public Layer
+{
+  public:
+    /** Construct with config; weights are Kaiming-initialized later. */
+    Conv2d(const Conv2dConfig &cfg, const std::string &layer_name);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return name_; }
+
+    /** Weight parameter (shape [K, C, R, S]). */
+    Param &weight() { return weight_; }
+
+    /** Bias parameter (shape [K]); only valid when cfg.bias. */
+    Param &bias() { return bias_; }
+
+    const Conv2dConfig &config() const { return cfg_; }
+
+    /** Output spatial extent for an input extent (shared with tests). */
+    int64_t
+    outExtent(int64_t in) const
+    {
+        return (in + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
+    }
+
+  private:
+    Conv2dConfig cfg_;
+    std::string name_;
+    Param weight_;
+    Param bias_;
+    Tensor cachedInput_;   //!< saved for the weight-update convolution
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_CONV2D_H_

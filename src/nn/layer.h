@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Layer and parameter abstractions for the mini training framework.
+ *
+ * The framework exists because Procrustes is a *training* accelerator:
+ * reproducing the paper's algorithmic claims (initial-weight decay and
+ * streaming quantile estimation do not hurt accuracy; Dropback-style
+ * sparse-from-scratch training converges like dense SGD) requires
+ * actually running forward, backward, and weight-update passes — the
+ * same three phases the hardware model accounts for.
+ */
+
+#ifndef PROCRUSTES_NN_LAYER_H_
+#define PROCRUSTES_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace nn {
+
+/**
+ * A trainable parameter: value plus gradient accumulated by backward().
+ *
+ * `prunable` marks tensors subject to Dropback pruning (convolution and
+ * fully-connected weights); biases and batch-norm affine parameters are
+ * never pruned, matching standard sparse-training practice.
+ */
+struct Param
+{
+    Tensor value;       //!< current parameter values
+    Tensor grad;        //!< dL/dparam, filled by backward()
+    std::string name;   //!< diagnostic label, e.g. "conv1.weight"
+    bool prunable = true;
+
+    /** Allocate value and grad with the given shape. */
+    void
+    init(const Shape &shape, const std::string &param_name, bool can_prune)
+    {
+        value = Tensor(shape);
+        grad = Tensor(shape);
+        name = param_name;
+        prunable = can_prune;
+    }
+};
+
+/**
+ * Base class for all layers.
+ *
+ * Layers cache whatever they need from forward() to implement
+ * backward(); a backward() call must be preceded by a forward() call on
+ * the same input batch. backward() returns dL/dx and accumulates
+ * parameter gradients into Param::grad (callers zero grads between
+ * iterations via Network::zeroGrad()).
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Run the layer on a batch; `training` selects batch-norm mode. */
+    virtual Tensor forward(const Tensor &x, bool training) = 0;
+
+    /** Back-propagate dL/dy, returning dL/dx. */
+    virtual Tensor backward(const Tensor &dy) = 0;
+
+    /** Trainable parameters (empty for stateless layers). */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /** Diagnostic layer name. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_LAYER_H_

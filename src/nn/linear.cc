@@ -1,0 +1,95 @@
+#include "nn/linear.h"
+
+namespace procrustes {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features,
+               const std::string &layer_name, bool with_bias)
+    : inFeatures_(in_features),
+      outFeatures_(out_features),
+      hasBias_(with_bias),
+      name_(layer_name)
+{
+    PROCRUSTES_ASSERT(in_features > 0 && out_features > 0,
+                      "linear features must be positive");
+    weight_.init(Shape{out_features, in_features}, name_ + ".weight",
+                 /*can_prune=*/true);
+    if (hasBias_) {
+        bias_.init(Shape{out_features}, name_ + ".bias",
+                   /*can_prune=*/false);
+    }
+}
+
+std::vector<Param *>
+Linear::params()
+{
+    std::vector<Param *> out{&weight_};
+    if (hasBias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+Tensor
+Linear::forward(const Tensor &x, bool)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 2 && xs[1] == inFeatures_,
+                      "linear input must be [N, in_features]");
+    const int64_t n = xs[0];
+    cachedInput_ = x;
+
+    Tensor y(Shape{n, outFeatures_});
+    const float *px = x.data();
+    const float *pw = weight_.value.data();
+    float *py = y.data();
+    for (int64_t in = 0; in < n; ++in) {
+        const float *xr = px + in * inFeatures_;
+        for (int64_t o = 0; o < outFeatures_; ++o) {
+            const float *wr = pw + o * inFeatures_;
+            float acc = hasBias_ ? bias_.value.data()[o] : 0.0f;
+            for (int64_t i = 0; i < inFeatures_; ++i)
+                acc += xr[i] * wr[i];
+            py[in * outFeatures_ + o] = acc;
+        }
+    }
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &dy)
+{
+    const Shape &xs = cachedInput_.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 2, "backward before forward");
+    const int64_t n = xs[0];
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, outFeatures_}),
+                      "dy shape mismatch in linear backward");
+
+    Tensor dx(xs);
+    const float *px = cachedInput_.data();
+    const float *pw = weight_.value.data();
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    float *pdw = weight_.grad.data();
+
+    for (int64_t in = 0; in < n; ++in) {
+        const float *xr = px + in * inFeatures_;
+        float *dxr = pdx + in * inFeatures_;
+        for (int64_t o = 0; o < outFeatures_; ++o) {
+            const float g = pdy[in * outFeatures_ + o];
+            if (g == 0.0f)
+                continue;
+            const float *wr = pw + o * inFeatures_;
+            float *dwr = pdw + o * inFeatures_;
+            for (int64_t i = 0; i < inFeatures_; ++i) {
+                dwr[i] += g * xr[i];
+                dxr[i] += g * wr[i];
+            }
+            if (hasBias_)
+                bias_.grad.data()[o] += g;
+        }
+    }
+    return dx;
+}
+
+} // namespace nn
+} // namespace procrustes

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fully-connected (fc) layer with manual backprop.
+ *
+ * In the paper's terms (Section II-A), fc layers use matrix multiply in
+ * the forward pass and the transposed weight matrix W^T in the backward
+ * pass — the access-pattern pair the CSB weight format must serve.
+ */
+
+#ifndef PROCRUSTES_NN_LINEAR_H_
+#define PROCRUSTES_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace procrustes {
+namespace nn {
+
+/** Dense affine layer: y = x W^T + b, weights shaped [out, in]. */
+class Linear : public Layer
+{
+  public:
+    /** Construct with given fan-in/fan-out; init happens externally. */
+    Linear(int64_t in_features, int64_t out_features,
+           const std::string &layer_name, bool with_bias = true);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return name_; }
+
+    Param &weight() { return weight_; }
+    Param &bias() { return bias_; }
+
+    int64_t inFeatures() const { return inFeatures_; }
+    int64_t outFeatures() const { return outFeatures_; }
+
+  private:
+    int64_t inFeatures_;
+    int64_t outFeatures_;
+    bool hasBias_;
+    std::string name_;
+    Param weight_;
+    Param bias_;
+    Tensor cachedInput_;
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_LINEAR_H_

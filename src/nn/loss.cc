@@ -1,0 +1,77 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace nn {
+
+double
+SoftmaxCrossEntropy::forward(const Tensor &logits,
+                             const std::vector<int> &labels)
+{
+    const Shape &ls = logits.shape();
+    PROCRUSTES_ASSERT(ls.rank() == 2, "logits must be [N, classes]");
+    const int64_t n = ls[0];
+    const int64_t classes = ls[1];
+    PROCRUSTES_ASSERT(static_cast<int64_t>(labels.size()) == n,
+                      "label count mismatch");
+
+    probs_ = Tensor(ls);
+    labels_ = labels;
+
+    const float *pl = logits.data();
+    float *pp = probs_.data();
+    double loss = 0.0;
+    int64_t correct = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        const float *row = pl + in * classes;
+        float *prow = pp + in * classes;
+        float maxv = row[0];
+        int64_t argmax = 0;
+        for (int64_t j = 1; j < classes; ++j) {
+            if (row[j] > maxv) {
+                maxv = row[j];
+                argmax = j;
+            }
+        }
+        double denom = 0.0;
+        for (int64_t j = 0; j < classes; ++j)
+            denom += std::exp(static_cast<double>(row[j] - maxv));
+        const int y = labels[static_cast<size_t>(in)];
+        PROCRUSTES_ASSERT(y >= 0 && y < classes, "label out of range");
+        for (int64_t j = 0; j < classes; ++j) {
+            prow[j] = static_cast<float>(
+                std::exp(static_cast<double>(row[j] - maxv)) / denom);
+        }
+        loss -= std::log(std::max(
+            static_cast<double>(prow[y]), 1e-12));
+        if (argmax == y)
+            ++correct;
+    }
+    accuracy_ = static_cast<double>(correct) / static_cast<double>(n);
+    return loss / static_cast<double>(n);
+}
+
+Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    const Shape &ps = probs_.shape();
+    PROCRUSTES_ASSERT(ps.rank() == 2, "backward before forward");
+    const int64_t n = ps[0];
+    const int64_t classes = ps[1];
+
+    Tensor dlogits = probs_;
+    float *pd = dlogits.data();
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int64_t in = 0; in < n; ++in) {
+        pd[in * classes + labels_[static_cast<size_t>(in)]] -= 1.0f;
+        for (int64_t j = 0; j < classes; ++j)
+            pd[in * classes + j] *= inv_n;
+    }
+    return dlogits;
+}
+
+} // namespace nn
+} // namespace procrustes

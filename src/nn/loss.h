@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Softmax cross-entropy loss (fused, numerically stable).
+ */
+
+#ifndef PROCRUSTES_NN_LOSS_H_
+#define PROCRUSTES_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace nn {
+
+/**
+ * Fused softmax + cross-entropy over a batch of logits.
+ *
+ * forward() returns mean loss; backward() returns dL/dlogits for the
+ * same batch (softmax(x) - onehot(y)) / N.
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    /** Compute mean cross-entropy for logits [N, classes]. */
+    double forward(const Tensor &logits, const std::vector<int> &labels);
+
+    /** Gradient with respect to the logits of the last forward(). */
+    Tensor backward() const;
+
+    /** Top-1 accuracy of the last forward() batch. */
+    double accuracy() const { return accuracy_; }
+
+  private:
+    Tensor probs_;
+    std::vector<int> labels_;
+    double accuracy_ = 0.0;
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_LOSS_H_

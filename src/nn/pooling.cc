@@ -1,0 +1,153 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace procrustes {
+namespace nn {
+
+MaxPool2d::MaxPool2d(int64_t kernel, const std::string &layer_name)
+    : kernel_(kernel), name_(layer_name)
+{
+    PROCRUSTES_ASSERT(kernel > 0, "pool kernel must be positive");
+}
+
+Tensor
+MaxPool2d::forward(const Tensor &x, bool)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4, "pool input must be NCHW");
+    const int64_t n = xs[0];
+    const int64_t c = xs[1];
+    const int64_t h = xs[2];
+    const int64_t w = xs[3];
+    PROCRUSTES_ASSERT(h % kernel_ == 0 && w % kernel_ == 0,
+                      "pool input not divisible by kernel");
+    const int64_t ph = h / kernel_;
+    const int64_t pw = w / kernel_;
+
+    inputShape_ = xs;
+    Tensor y(Shape{n, c, ph, pw});
+    argmax_.assign(static_cast<size_t>(y.numel()), 0);
+
+    const float *px = x.data();
+    float *py = y.data();
+    int64_t oidx = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const float *plane = px + (in * c + ic) * h * w;
+            for (int64_t op = 0; op < ph; ++op) {
+                for (int64_t oq = 0; oq < pw; ++oq) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    int64_t best_idx = 0;
+                    for (int64_t kr = 0; kr < kernel_; ++kr) {
+                        for (int64_t kc = 0; kc < kernel_; ++kc) {
+                            const int64_t ih = op * kernel_ + kr;
+                            const int64_t iw = oq * kernel_ + kc;
+                            const int64_t flat = ih * w + iw;
+                            if (plane[flat] > best) {
+                                best = plane[flat];
+                                best_idx = (in * c + ic) * h * w + flat;
+                            }
+                        }
+                    }
+                    py[oidx] = best;
+                    argmax_[static_cast<size_t>(oidx)] = best_idx;
+                    ++oidx;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(inputShape_.rank() == 4, "backward before forward");
+    Tensor dx(inputShape_);
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    const int64_t n = dy.numel();
+    PROCRUSTES_ASSERT(static_cast<size_t>(n) == argmax_.size(),
+                      "dy size mismatch in pool backward");
+    for (int64_t i = 0; i < n; ++i)
+        pdx[argmax_[static_cast<size_t>(i)]] += pdy[i];
+    return dx;
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x, bool)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4, "gap input must be NCHW");
+    const int64_t n = xs[0];
+    const int64_t c = xs[1];
+    const int64_t hw = xs[2] * xs[3];
+    inputShape_ = xs;
+
+    Tensor y(Shape{n, c});
+    const float *px = x.data();
+    float *py = y.data();
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const float *row = px + (in * c + ic) * hw;
+            double acc = 0.0;
+            for (int64_t i = 0; i < hw; ++i)
+                acc += row[i];
+            py[in * c + ic] =
+                static_cast<float>(acc / static_cast<double>(hw));
+        }
+    }
+    return y;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(inputShape_.rank() == 4, "backward before forward");
+    const int64_t n = inputShape_[0];
+    const int64_t c = inputShape_[1];
+    const int64_t hw = inputShape_[2] * inputShape_[3];
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, c}),
+                      "dy shape mismatch in gap backward");
+
+    Tensor dx(inputShape_);
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    const float scale = 1.0f / static_cast<float>(hw);
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const float g = pdy[in * c + ic] * scale;
+            float *row = pdx + (in * c + ic) * hw;
+            for (int64_t i = 0; i < hw; ++i)
+                row[i] = g;
+        }
+    }
+    return dx;
+}
+
+Tensor
+Flatten::forward(const Tensor &x, bool)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() >= 2, "flatten input rank must be >= 2");
+    inputShape_ = xs;
+    Tensor y = x;
+    int64_t features = 1;
+    for (int i = 1; i < xs.rank(); ++i)
+        features *= xs[i];
+    y.reshape(Shape{xs[0], features});
+    return y;
+}
+
+Tensor
+Flatten::backward(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(inputShape_.rank() >= 2, "backward before forward");
+    Tensor dx = dy;
+    dx.reshape(inputShape_);
+    return dx;
+}
+
+} // namespace nn
+} // namespace procrustes

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pooling and reshaping layers (max pool, global average pool, flatten).
+ */
+
+#ifndef PROCRUSTES_NN_POOLING_H_
+#define PROCRUSTES_NN_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace procrustes {
+namespace nn {
+
+/** Non-overlapping square max pooling (kernel == stride). */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(int64_t kernel, const std::string &layer_name);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return name_; }
+
+  private:
+    int64_t kernel_;
+    std::string name_;
+    Shape inputShape_;
+    std::vector<int64_t> argmax_;   //!< flat input index per output elem
+};
+
+/** Global average pooling: NCHW -> [N, C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(const std::string &layer_name)
+        : name_(layer_name)
+    {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    Shape inputShape_;
+};
+
+/** Flatten NCHW -> [N, C*H*W]. */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(const std::string &layer_name) : name_(layer_name) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    Shape inputShape_;
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_POOLING_H_

@@ -1,0 +1,40 @@
+#include "nn/sgd.h"
+
+namespace procrustes {
+namespace nn {
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum)
+{
+    PROCRUSTES_ASSERT(lr > 0.0f, "learning rate must be positive");
+    PROCRUSTES_ASSERT(momentum >= 0.0f && momentum < 1.0f,
+                      "momentum out of range");
+}
+
+void
+Sgd::step(const std::vector<Param *> &params)
+{
+    if (velocity_.empty() && momentum_ > 0.0f) {
+        for (Param *p : params)
+            velocity_.emplace_back(p->value.shape());
+    }
+    for (size_t pi = 0; pi < params.size(); ++pi) {
+        Param *p = params[pi];
+        float *v = p->value.data();
+        const float *g = p->grad.data();
+        const int64_t n = p->value.numel();
+        if (momentum_ > 0.0f) {
+            float *vel = velocity_[pi].data();
+            for (int64_t i = 0; i < n; ++i) {
+                vel[i] = momentum_ * vel[i] + g[i];
+                v[i] -= lr_ * vel[i];
+            }
+        } else {
+            for (int64_t i = 0; i < n; ++i)
+                v[i] -= lr_ * g[i];
+        }
+    }
+    ++iteration_;
+}
+
+} // namespace nn
+} // namespace procrustes

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Optimizer interface and the plain-SGD baseline.
+ *
+ * The dense-SGD optimizer is the paper's accuracy baseline (the
+ * "baseline (SGD)" curves in Figures 15 and 16); the Dropback family in
+ * src/sparse/ implements the same interface.
+ */
+
+#ifndef PROCRUSTES_NN_SGD_H_
+#define PROCRUSTES_NN_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace procrustes {
+namespace nn {
+
+/** Base class for weight-update rules. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step using the gradients in params. */
+    virtual void step(const std::vector<Param *> &params) = 0;
+
+    /** Steps taken so far. */
+    int64_t iteration() const { return iteration_; }
+
+  protected:
+    int64_t iteration_ = 0;
+};
+
+/** Classic SGD with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    /** lr: learning rate; momentum: 0 disables the velocity buffer. */
+    explicit Sgd(float lr, float momentum = 0.0f);
+
+    void step(const std::vector<Param *> &params) override;
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+  private:
+    float lr_;
+    float momentum_;
+    std::vector<Tensor> velocity_;   //!< lazily sized to params
+};
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_SGD_H_

@@ -1,0 +1,93 @@
+#include "nn/trainer.h"
+
+namespace procrustes {
+namespace nn {
+
+std::vector<EpochStats>
+trainNetwork(Network &net, Optimizer &opt, const Dataset &train,
+             const Dataset &val, const TrainConfig &cfg)
+{
+    SoftmaxCrossEntropy loss;
+    std::vector<EpochStats> history;
+    const auto params = net.params();
+
+    for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        const auto order =
+            epochOrder(train.size(), cfg.shuffleSeed, epoch);
+        double loss_sum = 0.0;
+        double acc_sum = 0.0;
+        int64_t batches = 0;
+
+        for (int64_t start = 0; start + cfg.batchSize <= train.size();
+             start += cfg.batchSize) {
+            std::vector<int64_t> idx(
+                order.begin() + start,
+                order.begin() + start + cfg.batchSize);
+            const Tensor x = train.batch(idx);
+            const auto y = train.batchLabels(idx);
+
+            net.zeroGrad();
+            const Tensor logits = net.forward(x, /*training=*/true);
+            loss_sum += loss.forward(logits, y);
+            acc_sum += loss.accuracy();
+            net.backward(loss.backward());
+            opt.step(params);
+            ++batches;
+        }
+
+        EpochStats st;
+        st.epoch = epoch;
+        st.trainLoss = batches ? loss_sum / batches : 0.0;
+        st.trainAccuracy = batches ? acc_sum / batches : 0.0;
+        st.valAccuracy = evaluateAccuracy(net, val);
+        st.weightSparsity = weightSparsity(net);
+        history.push_back(st);
+    }
+    return history;
+}
+
+double
+evaluateAccuracy(Network &net, const Dataset &ds, int64_t batch_size)
+{
+    SoftmaxCrossEntropy loss;
+    double correct_weighted = 0.0;
+    int64_t seen = 0;
+    for (int64_t start = 0; start < ds.size(); start += batch_size) {
+        const int64_t end = std::min(start + batch_size, ds.size());
+        std::vector<int64_t> idx;
+        for (int64_t i = start; i < end; ++i)
+            idx.push_back(i);
+        const Tensor x = ds.batch(idx);
+        const auto y = ds.batchLabels(idx);
+        const Tensor logits = net.forward(x, /*training=*/false);
+        loss.forward(logits, y);
+        correct_weighted +=
+            loss.accuracy() * static_cast<double>(end - start);
+        seen += end - start;
+    }
+    return seen ? correct_weighted / static_cast<double>(seen) : 0.0;
+}
+
+double
+weightSparsity(Network &net)
+{
+    int64_t zeros = 0;
+    int64_t total = 0;
+    for (Param *p : net.params()) {
+        if (!p->prunable)
+            continue;
+        const float *v = p->value.data();
+        const int64_t n = p->value.numel();
+        for (int64_t i = 0; i < n; ++i) {
+            if (v[i] == 0.0f)
+                ++zeros;
+        }
+        total += n;
+    }
+    return total ? static_cast<double>(zeros) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace nn
+} // namespace procrustes

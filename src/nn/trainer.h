@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minibatch training loop with per-epoch validation.
+ */
+
+#ifndef PROCRUSTES_NN_TRAINER_H_
+#define PROCRUSTES_NN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/data.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/sgd.h"
+
+namespace procrustes {
+namespace nn {
+
+/** One epoch's summary statistics. */
+struct EpochStats
+{
+    int64_t epoch = 0;
+    double trainLoss = 0.0;
+    double trainAccuracy = 0.0;
+    double valAccuracy = 0.0;
+    double weightSparsity = 0.0;  //!< zero fraction over prunable params
+};
+
+/** Training-loop configuration. */
+struct TrainConfig
+{
+    int64_t epochs = 10;
+    int64_t batchSize = 16;
+    uint64_t shuffleSeed = 7;
+};
+
+/**
+ * Run SGD-style training of `net` on `train`, validating on `val` after
+ * each epoch; returns one EpochStats per epoch. The loop is
+ * deterministic given the seeds in the configs.
+ */
+std::vector<EpochStats> trainNetwork(Network &net, Optimizer &opt,
+                                     const Dataset &train,
+                                     const Dataset &val,
+                                     const TrainConfig &cfg);
+
+/** Evaluate top-1 accuracy of `net` on a dataset (inference mode). */
+double evaluateAccuracy(Network &net, const Dataset &ds,
+                        int64_t batch_size = 64);
+
+/** Zero fraction across all prunable parameters of a network. */
+double weightSparsity(Network &net);
+
+} // namespace nn
+} // namespace procrustes
+
+#endif // PROCRUSTES_NN_TRAINER_H_

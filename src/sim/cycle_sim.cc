@@ -1,0 +1,413 @@
+#include "sim/cycle_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "arch/load_balancer.h"
+
+namespace procrustes {
+namespace sim {
+
+using arch::Dim;
+using arch::FlowClass;
+using arch::LayerShape;
+using arch::LayerSparsityProfile;
+using arch::MappingKind;
+using arch::Operand;
+using arch::Phase;
+
+Channel
+channelFor(FlowClass flow)
+{
+    switch (flow) {
+      case FlowClass::MulticastRows:
+      case FlowClass::ReduceRows:
+        return Channel::RowBus;
+      case FlowClass::MulticastCols:
+      case FlowClass::ReduceCols:
+        return Channel::ColBus;
+      case FlowClass::Broadcast:
+      case FlowClass::ReduceAll:
+        return Channel::Broadcast;
+      case FlowClass::Unicast:
+        return Channel::UnicastNet;
+    }
+    PANIC("unknown flow class");
+}
+
+namespace {
+
+/** Per-PE progress state during a wave. */
+struct PeState
+{
+    int64_t macsDone = 0;
+    int64_t recvA = 0;
+    int64_t recvB = 0;
+};
+
+/** True if the PE may retire one more MAC this cycle. */
+bool
+canIssue(const TileDemand &d, const PeState &s)
+{
+    if (s.macsDone >= d.macs)
+        return false;
+    // Operand words unlock MACs proportionally: word w of operand A
+    // enables MACs up to w * (macs / wordsA).
+    if (d.wordsA > 0 && s.macsDone * d.wordsA >= s.recvA * d.macs)
+        return false;
+    if (d.wordsB > 0 && s.macsDone * d.wordsB >= s.recvB * d.macs)
+        return false;
+    return true;
+}
+
+/** Deliver one multicast word along each row (or column) that wants it. */
+void
+deliverBus(const WaveSpec &wave, std::vector<PeState> &st, bool operand_a,
+           bool row_major)
+{
+    const int outer = row_major ? wave.rows : wave.cols;
+    const int inner = row_major ? wave.cols : wave.rows;
+    for (int o = 0; o < outer; ++o) {
+        bool any = false;
+        for (int i = 0; i < inner; ++i) {
+            const int r = row_major ? o : i;
+            const int c = row_major ? i : o;
+            const auto idx = static_cast<size_t>(r * wave.cols + c);
+            const TileDemand &d = wave.tiles[idx];
+            const int64_t need = operand_a ? d.wordsA : d.wordsB;
+            const int64_t got =
+                operand_a ? st[idx].recvA : st[idx].recvB;
+            if (got < need) {
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            continue;
+        for (int i = 0; i < inner; ++i) {
+            const int r = row_major ? o : i;
+            const int c = row_major ? i : o;
+            const auto idx = static_cast<size_t>(r * wave.cols + c);
+            const TileDemand &d = wave.tiles[idx];
+            if (operand_a) {
+                if (st[idx].recvA < d.wordsA)
+                    ++st[idx].recvA;
+            } else {
+                if (st[idx].recvB < d.wordsB)
+                    ++st[idx].recvB;
+            }
+        }
+    }
+}
+
+/** Deliver one broadcast word to every PE that wants it. */
+void
+deliverBroadcast(const WaveSpec &wave, std::vector<PeState> &st,
+                 bool operand_a)
+{
+    for (size_t idx = 0; idx < wave.tiles.size(); ++idx) {
+        const TileDemand &d = wave.tiles[idx];
+        if (operand_a) {
+            if (st[idx].recvA < d.wordsA)
+                ++st[idx].recvA;
+        } else {
+            if (st[idx].recvB < d.wordsB)
+                ++st[idx].recvB;
+        }
+    }
+}
+
+/** Deliver up to `budget` unicast words round-robin; returns cursor. */
+size_t
+deliverUnicast(const WaveSpec &wave, std::vector<PeState> &st,
+               bool operand_a, int budget, size_t cursor)
+{
+    const size_t n = wave.tiles.size();
+    int delivered = 0;
+    for (size_t step = 0; step < n && delivered < budget; ++step) {
+        const size_t idx = (cursor + step) % n;
+        const TileDemand &d = wave.tiles[idx];
+        if (operand_a) {
+            if (st[idx].recvA < d.wordsA) {
+                ++st[idx].recvA;
+                ++delivered;
+            }
+        } else {
+            if (st[idx].recvB < d.wordsB) {
+                ++st[idx].recvB;
+                ++delivered;
+            }
+        }
+    }
+    return (cursor + 1) % n;
+}
+
+void
+deliverChannel(const WaveSpec &wave, std::vector<PeState> &st,
+               Channel ch, bool operand_a, const SimConfig &cfg,
+               size_t &uni_cursor)
+{
+    switch (ch) {
+      case Channel::RowBus:
+        deliverBus(wave, st, operand_a, /*row_major=*/true);
+        break;
+      case Channel::ColBus:
+        deliverBus(wave, st, operand_a, /*row_major=*/false);
+        break;
+      case Channel::Broadcast:
+        deliverBroadcast(wave, st, operand_a);
+        break;
+      case Channel::UnicastNet:
+        uni_cursor = deliverUnicast(wave, st, operand_a,
+                                    cfg.unicastWordsPerCycle, uni_cursor);
+        break;
+    }
+}
+
+} // namespace
+
+SimResult
+simulateWave(const WaveSpec &wave, const SimConfig &cfg)
+{
+    PROCRUSTES_ASSERT(
+        wave.tiles.size() ==
+            static_cast<size_t>(wave.rows) * static_cast<size_t>(wave.cols),
+        "tile count mismatch");
+    SimResult res;
+    std::vector<PeState> st(wave.tiles.size());
+    size_t uni_cursor = 0;
+
+    int64_t remaining = 0;
+    for (const TileDemand &d : wave.tiles)
+        remaining += d.macs;
+
+    while (remaining > 0) {
+        PROCRUSTES_ASSERT(res.computeCycles < cfg.maxCycles,
+                          "wave exceeded cycle limit");
+        // Delivery happens first; a word arriving this cycle can feed
+        // a MAC this cycle (single-cycle forwarding).
+        deliverChannel(wave, st, wave.channelA, /*operand_a=*/true, cfg,
+                       uni_cursor);
+        deliverChannel(wave, st, wave.channelB, /*operand_a=*/false, cfg,
+                       uni_cursor);
+
+        for (size_t idx = 0; idx < wave.tiles.size(); ++idx) {
+            const TileDemand &d = wave.tiles[idx];
+            if (st[idx].macsDone >= d.macs)
+                continue;
+            if (canIssue(d, st[idx])) {
+                ++st[idx].macsDone;
+                ++res.macsRetired;
+                --remaining;
+            } else {
+                ++res.stallCycles;
+            }
+        }
+        ++res.computeCycles;
+    }
+
+    // Drain partial sums through the output channel.
+    int64_t psum_words = 0;
+    for (const TileDemand &d : wave.tiles)
+        psum_words += d.psumWords;
+    int64_t drain_bw = 1;
+    switch (wave.channelOut) {
+      case Channel::RowBus:
+        drain_bw = wave.rows;
+        break;
+      case Channel::ColBus:
+        drain_bw = wave.cols;
+        break;
+      case Channel::Broadcast:
+        drain_bw = 1;
+        break;
+      case Channel::UnicastNet:
+        drain_bw = cfg.unicastWordsPerCycle;
+        break;
+    }
+    const int64_t drain = ceilDiv(psum_words, drain_bw);
+    res.cycles = res.computeCycles + drain;
+    return res;
+}
+
+SimResult
+simulateLayerPhase(const LayerShape &layer, Phase phase,
+                   MappingKind mapping,
+                   const LayerSparsityProfile &profile, int64_t batch,
+                   const arch::ArrayConfig &acfg, const SimConfig &scfg,
+                   arch::BalanceMode balance)
+{
+    const auto dims = arch::spatialDims(mapping);
+    const int64_t a0 = acfg.rows;
+    const int64_t a1 = acfg.cols;
+    const int64_t ext0 = arch::dimExtent(layer, dims[0], batch);
+    const int64_t ext1 = arch::dimExtent(layer, dims[1], batch);
+    const double dense_macs =
+        static_cast<double>(batch) *
+        static_cast<double>(layer.macsPerSample());
+    const double per_index =
+        dense_macs / static_cast<double>(ext0 * ext1);
+
+    const Operand sp = arch::sparseOperand(phase);
+    const Operand out = arch::outputOperand(phase);
+    const Operand other = [&] {
+        for (Operand op : arch::kAllOperands) {
+            if (op != sp && op != out)
+                return op;
+        }
+        PANIC("operand set degenerate");
+    }();
+
+    // Per-(d0,d1)-index unique word counts of each operand.
+    auto f_idx = [&](Operand op) {
+        double f = static_cast<double>(
+            arch::operandVolume(layer, op, batch));
+        for (int axis = 0; axis < 2; ++axis) {
+            if (arch::dependsOn(op, dims[axis]))
+                f /= static_cast<double>(
+                    arch::dimExtent(layer, dims[axis], batch));
+        }
+        return f;
+    };
+    const double fa = f_idx(sp);
+    const double fb = f_idx(other);
+    const double fo = f_idx(out);
+
+    const bool dep0 = arch::dependsOn(sp, dims[0]);
+    const bool dep1 = arch::dependsOn(sp, dims[1]);
+    const bool cheap_ok = arch::supportsCheapBalancing(phase, mapping);
+
+    // Weight-sparse both-axes mappings tile multiple kernels per PE
+    // (RF-bounded), mirroring CostModel::chunkedWeightWaves.
+    const int64_t g =
+        (dep0 && dep1 && sp == Operand::Weights)
+            ? arch::weightTileChunk(acfg, layer, ext1, a1)
+            : 1;
+    const int64_t stride1 = a1 * g;
+    const bool other_dep1 = arch::dependsOn(other, dims[1]);
+    const bool out_dep1 = arch::dependsOn(out, dims[1]);
+
+    WaveSpec wave_template;
+    wave_template.rows = acfg.rows;
+    wave_template.cols = acfg.cols;
+    wave_template.channelA =
+        channelFor(arch::classifyFlow(phase, sp, mapping));
+    wave_template.channelB =
+        channelFor(arch::classifyFlow(phase, other, mapping));
+    wave_template.channelOut =
+        channelFor(arch::classifyFlow(phase, out, mapping));
+
+    SimResult total;
+    for (int64_t b0 = 0; b0 < ext0; b0 += a0) {
+        const int64_t n0 = std::min(a0, ext0 - b0);
+        for (int64_t b1 = 0; b1 < ext1; b1 += stride1) {
+            const int64_t n1 =
+                std::min(a1, ceilDiv(ext1 - b1, g));
+            WaveSpec wave = wave_template;
+            wave.tiles.assign(
+                static_cast<size_t>(acfg.rows) * acfg.cols, {});
+
+            // Per-slot effective density along the sparse structure.
+            auto density_at = [&](int64_t i, int64_t j) {
+                if (!dep0 && !dep1)
+                    return sp == Operand::Weights
+                               ? profile.weightDensity()
+                               : profile.iactDensity();
+                if (dep0 && dep1) {
+                    if (sp == Operand::Weights) {
+                        const int64_t k =
+                            dims[0] == Dim::K ? b0 + i : b1 + j;
+                        const int64_t c =
+                            dims[0] == Dim::K ? b1 + j : b0 + i;
+                        return profile.kernelDensity(k, c);
+                    }
+                    return profile.iactSpatialDensity(b0 + i, b1 + j);
+                }
+                const Dim d = dep0 ? dims[0] : dims[1];
+                const int64_t idx = dep0 ? b0 + i : b1 + j;
+                if (sp == Operand::Weights) {
+                    return d == Dim::K ? profile.kDensity(idx)
+                                       : profile.cDensity(idx);
+                }
+                return d == Dim::N ? profile.iactSampleDensity(idx)
+                                   : profile.iactChannelDensity(idx);
+            };
+
+            // Optional half-tile balancing along the sparse axis.
+            std::vector<double> balanced;
+            if (balance == arch::BalanceMode::HalfTile && cheap_ok &&
+                (dep0 != dep1)) {
+                const Dim d = dep0 ? dims[0] : dims[1];
+                const int64_t base = dep0 ? b0 : b1;
+                const int64_t count = dep0 ? n0 : n1;
+                std::vector<arch::TileHalves> tiles;
+                for (int64_t i = 0; i < count; ++i) {
+                    arch::TileHalves h;
+                    if (sp == Operand::Weights) {
+                        h.first = d == Dim::K
+                                      ? profile.kHalfDensity(base + i, 0)
+                                      : profile.cHalfDensity(base + i, 0);
+                        h.second = d == Dim::K
+                                       ? profile.kHalfDensity(base + i, 1)
+                                       : profile.cHalfDensity(base + i, 1);
+                    } else {
+                        h.first =
+                            profile.iactSampleHalfDensity(base + i, 0);
+                        h.second =
+                            profile.iactSampleHalfDensity(base + i, 1);
+                    }
+                    tiles.push_back(h);
+                }
+                balanced = arch::rebalanceHalfTiles(tiles);
+            }
+
+            for (int64_t i = 0; i < n0; ++i) {
+                for (int64_t j = 0; j < n1; ++j) {
+                    // Aggregate the PE's kernel chunk (g = 1 unless
+                    // weight-sparse on both axes).
+                    const int64_t base = b1 + j * g;
+                    const int64_t count =
+                        std::min(g, ext1 - base);
+                    double dens_sum = 0.0;
+                    if (!balanced.empty()) {
+                        const int64_t slot = dep0 ? i : j;
+                        dens_sum = balanced[static_cast<size_t>(slot)];
+                    } else if (g == 1) {
+                        dens_sum = density_at(i, j);
+                    } else {
+                        for (int64_t t = 0; t < count; ++t) {
+                            dens_sum += profile.kernelDensity(
+                                dims[0] == Dim::K ? b0 + i : base + t,
+                                dims[0] == Dim::K ? base + t : b0 + i);
+                        }
+                    }
+                    TileDemand d;
+                    d.macs = std::max<int64_t>(
+                        1, std::llround(per_index * dens_sum));
+                    d.wordsA = std::max<int64_t>(
+                        1, std::llround(fa * dens_sum));
+                    d.wordsB = std::max<int64_t>(
+                        1, std::llround(
+                               fb * (other_dep1 ? count : 1)));
+                    d.psumWords = std::max<int64_t>(
+                        1,
+                        std::llround(fo * (out_dep1 ? count : 1)));
+                    wave.tiles[static_cast<size_t>(i * acfg.cols + j)] =
+                        d;
+                }
+            }
+
+            const SimResult r = simulateWave(wave, scfg);
+            total.cycles += r.cycles;
+            total.computeCycles += r.computeCycles;
+            total.stallCycles += r.stallCycles;
+            total.macsRetired += r.macsRetired;
+        }
+    }
+    return total;
+}
+
+} // namespace sim
+} // namespace procrustes

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cycle-level PE-array simulator.
+ *
+ * The analytic cost model (arch/cost_model.h) assumes each wave runs
+ * for exactly its slowest tile's MAC count. This simulator checks that
+ * assumption by actually clocking the array: per cycle, the three
+ * interconnects of Figure 14 (a horizontal bus per row, a vertical bus
+ * per column, and a unicast network) deliver operand words, and each PE
+ * retires one MAC when both of its operands have arrived. Stalls from
+ * interconnect bandwidth, multicast sharing, and drain time become
+ * visible, bounding the analytic model's error (asserted in
+ * integration tests).
+ */
+
+#ifndef PROCRUSTES_SIM_CYCLE_SIM_H_
+#define PROCRUSTES_SIM_CYCLE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/cost_model.h"
+#include "arch/dataflow.h"
+#include "arch/sparsity_profile.h"
+
+namespace procrustes {
+namespace sim {
+
+/** Delivery channel an operand rides on (from its FlowClass). */
+enum class Channel
+{
+    RowBus,      //!< one word/cycle per row, received by the whole row
+    ColBus,      //!< one word/cycle per column
+    Broadcast,   //!< one word/cycle to the entire array
+    UnicastNet,  //!< configurable aggregate words/cycle, per-PE data
+};
+
+/** Map a flow class onto a delivery channel. */
+Channel channelFor(arch::FlowClass flow);
+
+/** Per-PE demand for one wave. */
+struct TileDemand
+{
+    int64_t macs = 0;        //!< MACs this PE must retire
+    int64_t wordsA = 0;      //!< operand-A words it must receive
+    int64_t wordsB = 0;      //!< operand-B words it must receive
+    int64_t psumWords = 0;   //!< output words drained at wave end
+};
+
+/** One wave: demands for every PE slot (row-major, rows x cols). */
+struct WaveSpec
+{
+    int rows = 0;
+    int cols = 0;
+    Channel channelA = Channel::RowBus;
+    Channel channelB = Channel::UnicastNet;
+    Channel channelOut = Channel::UnicastNet;
+    std::vector<TileDemand> tiles;   //!< size rows*cols; idle PEs zeroed
+};
+
+/** Result of simulating one wave (or a sequence). */
+struct SimResult
+{
+    int64_t cycles = 0;        //!< total cycles including drain
+    int64_t computeCycles = 0; //!< cycles until the last MAC retired
+    int64_t stallCycles = 0;   //!< PE-cycles stalled waiting on operands
+    int64_t macsRetired = 0;
+};
+
+/** Simulator configuration. */
+struct SimConfig
+{
+    /** Aggregate unicast-network bandwidth (words/cycle). */
+    int unicastWordsPerCycle = 16;
+
+    /** Safety limit on simulated cycles per wave. */
+    int64_t maxCycles = 200'000'000;
+};
+
+/** Clock one wave to completion. */
+SimResult simulateWave(const WaveSpec &wave, const SimConfig &cfg);
+
+/**
+ * Build the wave sequence for (layer, phase, mapping) from the same
+ * sparsity profile the analytic model uses, then simulate every wave.
+ * Operand channels follow classifyFlow().
+ */
+SimResult simulateLayerPhase(const arch::LayerShape &layer,
+                             arch::Phase phase, arch::MappingKind mapping,
+                             const arch::LayerSparsityProfile &profile,
+                             int64_t batch, const arch::ArrayConfig &acfg,
+                             const SimConfig &scfg,
+                             arch::BalanceMode balance =
+                                 arch::BalanceMode::HalfTile);
+
+} // namespace sim
+} // namespace procrustes
+
+#endif // PROCRUSTES_SIM_CYCLE_SIM_H_

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The Dropback sparse-training optimizer family (Algorithms 2-4).
+ *
+ * Dropback (Golub et al., SysML 2019) trains on a fixed weight budget:
+ * in every iteration only the k weights with the largest accumulated
+ * gradient magnitude are tracked; all others are "dropped back" to
+ * their initial values. Procrustes adapts it for hardware (Section III)
+ * with two changes, both implemented here behind configuration flags:
+ *
+ *  1. *Initial-weight decay* (Algorithm 3): untracked weights return to
+ *     lambda^t * W(0) instead of W(0); with lambda = 0.9 all initial
+ *     weights reach exactly zero within ~1000 iterations, creating the
+ *     computation sparsity the accelerator converts into energy
+ *     savings.
+ *  2. *Streaming threshold selection* (Algorithm 4): the global sort of
+ *     all accumulated gradients is replaced by a DUMIQUE quantile
+ *     estimate used as a value threshold.
+ *
+ * All four paper configurations are expressible:
+ *   - Algorithm 2 (original Dropback):  decay off, ExactSort.
+ *   - Algorithm 3 (decay):              decay on,  ExactSort.
+ *   - full Procrustes scheme:           decay on,  QuantileEstimate.
+ *   - decay-off QE (ablation):          decay off, QuantileEstimate.
+ */
+
+#ifndef PROCRUSTES_SPARSE_DROPBACK_H_
+#define PROCRUSTES_SPARSE_DROPBACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/sgd.h"
+#include "sparse/quantile.h"
+#include "sparse/weight_recompute.h"
+
+namespace procrustes {
+namespace sparse {
+
+/** How the tracked-set threshold is chosen each iteration. */
+enum class SelectionMode
+{
+    ExactSort,          //!< nth_element over all candidates (Alg 2/3)
+    QuantileEstimate,   //!< streaming DUMIQUE threshold (Alg 4)
+};
+
+/** Dropback optimizer configuration. */
+struct DropbackConfig
+{
+    /** Target compression: track numel/sparsity weights (e.g. 10x). */
+    double sparsity = 10.0;
+
+    /** SGD learning rate eta. */
+    float lr = 0.05f;
+
+    /**
+     * Initial-weight decay lambda per iteration; 1.0 disables decay
+     * (Algorithm 2), the paper uses 0.9 (Algorithm 3).
+     */
+    float initDecay = 1.0f;
+
+    /**
+     * Iteration after which the decayed initial weights are clamped to
+     * exactly zero (paper: all are zero by iteration 1000).
+     */
+    int64_t decayHorizon = 1000;
+
+    /** Threshold selection scheme. */
+    SelectionMode selection = SelectionMode::ExactSort;
+
+    /** DUMIQUE adjustment rate (paper: 1e-3). */
+    double quantileRho = 1e-3;
+
+    /** DUMIQUE initial estimate (paper: 1e-6). */
+    double quantileInit = 1e-6;
+
+    /** QE unit lanes (paper: 4 updates/cycle). */
+    int quantileWidth = 4;
+
+    /**
+     * Regenerate initial weights through the WR unit instead of storing
+     * a W(0) copy (the hardware always does this; keeping both paths
+     * lets tests prove they are equivalent).
+     */
+    bool useWeightRecompute = false;
+
+    /** WR unit seed (only used with useWeightRecompute). */
+    uint64_t wrSeed = 42;
+};
+
+/**
+ * Dropback optimizer.
+ *
+ * Non-prunable parameters (biases, batch-norm affine) receive plain SGD
+ * updates. Prunable parameters carry per-weight accumulated-update
+ * state; each step computes candidate magnitudes
+ * |acc_i - lr * g_i|, selects the survivors (globally across all
+ * prunable tensors, as the paper's sort is global), and recomposes
+ * values as lambda^t * W(0) + acc.
+ */
+class DropbackOptimizer : public nn::Optimizer
+{
+  public:
+    explicit DropbackOptimizer(const DropbackConfig &cfg);
+
+    void step(const std::vector<nn::Param *> &params) override;
+
+    /** Fraction of prunable weights currently tracked. */
+    double trackedFraction() const;
+
+    /** Threshold used by the most recent step. */
+    double lastThreshold() const { return lastThreshold_; }
+
+    /** Current lambda^t factor (0 after the decay horizon). */
+    float currentDecayFactor() const;
+
+    const DropbackConfig &config() const { return cfg_; }
+
+  private:
+    /**
+     * Per-parameter sparse-training state.
+     *
+     * Algorithm 3 only decays *pruned* weights: a tracked weight
+     * evolves as W(t) = W(t-1) - eta*grad, keeping whatever initial
+     * component it had when it (re-)entered the tracked set. `emb`
+     * stores that frozen component (lambda^t0 * W0 captured at the
+     * pruned->tracked transition), so value = emb + acc for tracked
+     * weights and lambda^t * W0 for pruned ones. In hardware this is
+     * one extra FP add at tracking time (the WR output is folded into
+     * the stored accumulated gradient); the selection criterion still
+     * uses the pure accumulated gradient.
+     */
+    struct ParamState
+    {
+        Tensor w0;                 //!< stored initial values (or empty)
+        Tensor acc;                //!< accumulated updates (0 untracked)
+        Tensor emb;                //!< frozen initial component
+        std::vector<uint8_t> tracked;  //!< per-weight tracked flag
+        float initStd = 0.0f;      //!< WR scaling factor for this tensor
+        uint64_t indexBase = 0;    //!< global flat index of element 0
+        bool prunable = true;
+    };
+
+    void captureInitialState(const std::vector<nn::Param *> &params);
+    double selectThreshold(const std::vector<nn::Param *> &params);
+
+    /** Initial value of flat element i in parameter pi, undecayed. */
+    float initialValue(const ParamState &st, int64_t i) const;
+
+    DropbackConfig cfg_;
+    WeightRecomputeUnit wr_;
+    ParallelQuantileEstimator qe_;
+    std::vector<ParamState> state_;
+    bool initialized_ = false;
+    double lastThreshold_ = 0.0;
+    int64_t trackedCount_ = 0;
+    int64_t prunableCount_ = 0;
+};
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_DROPBACK_H_

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Gradual magnitude-based pruning baselines (Section II-E / VII-B).
+ *
+ * The sparse-training alternatives the paper positions Procrustes
+ * against prune slowly during training: the lottery-ticket procedure
+ * removes the lowest-magnitude 20% of surviving weights every pruning
+ * interval, and Eager Pruning removes a sub-1% sliver every interval.
+ * Both imply (i) no peak-memory reduction, (ii) mediocre energy
+ * savings because average density stays high for most of training,
+ * and (iii) a mid-training storage-format switch — the Section I
+ * arguments this implementation lets the benches quantify.
+ */
+
+#ifndef PROCRUSTES_SPARSE_GRADUAL_PRUNING_H_
+#define PROCRUSTES_SPARSE_GRADUAL_PRUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sgd.h"
+
+namespace procrustes {
+namespace sparse {
+
+/** Configuration for gradual magnitude pruning. */
+struct GradualPruningConfig
+{
+    /** Final compression factor (stop pruning at 1/target density). */
+    double targetSparsity = 5.0;
+
+    /** SGD learning rate. */
+    float lr = 0.05f;
+
+    /** Iterations between pruning events. */
+    int64_t pruneInterval = 50;
+
+    /**
+     * Fraction of *surviving* weights removed per event: 0.2 for the
+     * lottery-ticket schedule, ~0.008 for Eager Pruning.
+     */
+    double pruneFraction = 0.2;
+
+    /** Iterations before the first pruning event (warm-up). */
+    int64_t warmupIterations = 50;
+};
+
+/**
+ * SGD with magnitude-based gradual pruning.
+ *
+ * Pruned positions are sticky (mask monotonically tightens) and their
+ * values are exact zeros, as in the accelerator-facing formulation.
+ * averageDensity() integrates density over all steps taken — the
+ * quantity that bounds the energy savings of a sparsity-exploiting
+ * accelerator over the whole training run.
+ */
+class GradualMagnitudePruningOptimizer : public nn::Optimizer
+{
+  public:
+    explicit GradualMagnitudePruningOptimizer(
+        const GradualPruningConfig &cfg);
+
+    void step(const std::vector<nn::Param *> &params) override;
+
+    /** Current non-zero fraction of prunable weights. */
+    double currentDensity() const;
+
+    /** Density integrated over all steps so far (starts at 1.0). */
+    double averageDensity() const;
+
+    /** Number of pruning events executed. */
+    int pruneEvents() const { return pruneEvents_; }
+
+    const GradualPruningConfig &config() const { return cfg_; }
+
+  private:
+    void capture(const std::vector<nn::Param *> &params);
+    void pruneStep(const std::vector<nn::Param *> &params);
+
+    GradualPruningConfig cfg_;
+    std::vector<std::vector<uint8_t>> masks_;   //!< 1 = alive
+    int64_t prunableCount_ = 0;
+    int64_t aliveCount_ = 0;
+    double densityIntegral_ = 0.0;
+    int pruneEvents_ = 0;
+    bool initialized_ = false;
+};
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_GRADUAL_PRUNING_H_

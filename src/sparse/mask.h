@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Weight-sparsity masks and generators.
+ *
+ * The paper extracts masks from PyTorch training runs of the adapted
+ * Dropback algorithm and feeds their per-work-tile densities into the
+ * extended Timeloop model. This repo obtains masks two ways:
+ *
+ *   - from actually-trained models (small networks, via
+ *     SparsityMask::fromTensor); and
+ *   - for full-size network geometries, by streaming synthetic
+ *     accumulated-gradient magnitudes — with per-kernel lognormal
+ *     scale variation reproducing the "uneven by chance and learning
+ *     pressure" structure — through either an exact threshold or the
+ *     real quantile-estimation machinery (maskFromQuantileStream).
+ */
+
+#ifndef PROCRUSTES_SPARSE_MASK_H_
+#define PROCRUSTES_SPARSE_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace sparse {
+
+/**
+ * A boolean non-zero mask over a weight tensor laid out as
+ * [K, C, R, S] (fc layers use K = out, C = in, R = S = 1).
+ */
+struct SparsityMask
+{
+    int64_t K = 0;
+    int64_t C = 0;
+    int64_t R = 1;
+    int64_t S = 1;
+    std::vector<uint8_t> bits;   //!< size K*C*R*S; 1 = non-zero
+
+    int64_t numel() const { return K * C * R * S; }
+
+    /** Count of non-zero positions. */
+    int64_t nnz() const;
+
+    /** Non-zero fraction. */
+    double density() const;
+
+    /** Non-zero count in kernel (k, c). */
+    int64_t blockNnz(int64_t k, int64_t c) const;
+
+    /** Non-zero fraction of kernel (k, c). */
+    double blockDensity(int64_t k, int64_t c) const;
+
+    /**
+     * Non-zeros in a contiguous span of the K dimension restricted to
+     * a span of the C dimension — the work-tile granularity used by
+     * the load-balancing and imbalance analyses.
+     */
+    int64_t tileNnz(int64_t k0, int64_t k1, int64_t c0, int64_t c1) const;
+
+    /** Build a mask from a dense tensor's zero pattern. */
+    static SparsityMask fromTensor(const Tensor &w);
+
+    /** Fully dense mask of the given geometry. */
+    static SparsityMask dense(int64_t k, int64_t c, int64_t r, int64_t s);
+};
+
+/** Synthetic mask generation parameters. */
+struct SyntheticMaskConfig
+{
+    double targetDensity = 0.2;   //!< global non-zero fraction
+
+    /**
+     * Lognormal sigma of the independent per-kernel scale. Learning
+     * pressure concentrates surviving weights unevenly across kernels.
+     */
+    double kernelSigma = 0.3;
+
+    /**
+     * Lognormal sigma of the per-output-channel (K) scale. Dropback
+     * prunes whole output channels preferentially, which is what makes
+     * K-slices imbalanced and load balancing worthwhile (Figure 13's
+     * residual overheads come from this correlated structure).
+     */
+    double rowSigma = 0.10;
+
+    /** Lognormal sigma of the per-input-channel (C) scale. */
+    double colSigma = 0.08;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * Generate a mask with exact global density and lognormal
+ * non-uniformity at three granularities (per-K-channel, per-C-channel,
+ * per-kernel): element magnitudes are scale(k) * scale(c) *
+ * scale(k, c) * |N(0,1)| and the top targetDensity fraction survives
+ * an exact global threshold.
+ */
+SparsityMask makeSyntheticMask(int64_t k, int64_t c, int64_t r, int64_t s,
+                               const SyntheticMaskConfig &cfg);
+
+/**
+ * Generate a mask by streaming the same synthetic magnitudes through
+ * the *real* ParallelQuantileEstimator (warm-up pass then a selection
+ * pass), mirroring how the hardware QE unit would partition the
+ * weights; global density approximates 1/sparsity with the estimation
+ * lag the paper reports.
+ */
+SparsityMask maskFromQuantileStream(int64_t k, int64_t c, int64_t r,
+                                    int64_t s, double sparsity,
+                                    double kernel_sigma, uint64_t seed);
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_MASK_H_

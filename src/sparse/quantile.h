@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Streaming quantile estimation (DUMIQUE) and its parallelized variant.
+ *
+ * Procrustes' key algorithmic move (Section III-B of the paper) is
+ * replacing the global sort over all accumulated gradients — O(n log n)
+ * comparisons over tens of millions of values — with a multiplicative
+ * incremental quantile estimator (Yazidi & Hammer, IEEE Trans.
+ * Cybernetics 2017). Every gradient magnitude updates a single running
+ * threshold estimate; weights whose candidate accumulated gradient
+ * exceeds the estimate are tracked, the rest are dropped back.
+ *
+ * The hardware QE unit processes up to four updates per cycle by
+ * treating the average of four incoming values as a single update
+ * (Algorithm 4 caption); ParallelQuantileEstimator models that.
+ */
+
+#ifndef PROCRUSTES_SPARSE_QUANTILE_H_
+#define PROCRUSTES_SPARSE_QUANTILE_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace sparse {
+
+/**
+ * DUMIQUE: deterministic update-based multiplicative incremental
+ * quantile estimator for a stream of positive values.
+ *
+ * Update rule (Algorithm 4):
+ *   if estimate < x:  estimate *= (1 + rho * q)
+ *   else:             estimate *= (1 - rho * (1 - q))
+ *
+ * The estimate converges (in distribution) to the q-th quantile of the
+ * input stream. The paper found accuracy insensitive to the initial
+ * estimate and rho, and fixes them at 1e-6 and 1e-3 for all
+ * experiments; those are the defaults here.
+ */
+class QuantileEstimator
+{
+  public:
+    /**
+     * @param q target quantile in (0, 1); e.g. 0.9 tracks the top 10%.
+     * @param rho adjustment rate (paper: 1e-3).
+     * @param initial_estimate starting estimate (paper: 1e-6).
+     */
+    explicit QuantileEstimator(double q, double rho = 1e-3,
+                               double initial_estimate = 1e-6);
+
+    /** Fold one observation into the estimate. x must be >= 0. */
+    void
+    update(double x)
+    {
+        if (estimate_ < x)
+            estimate_ *= upFactor_;
+        else
+            estimate_ *= downFactor_;
+        ++updates_;
+    }
+
+    /** Current estimate of the q-th quantile. */
+    double estimate() const { return estimate_; }
+
+    /** Target quantile. */
+    double q() const { return q_; }
+
+    /** Number of update() calls folded so far. */
+    uint64_t updates() const { return updates_; }
+
+  private:
+    double q_;
+    double estimate_;
+    double upFactor_;
+    double downFactor_;
+    uint64_t updates_ = 0;
+};
+
+/**
+ * Hardware-style wide quantile estimator: buffers `width` incoming
+ * values and feeds their *average* to the underlying DUMIQUE estimator
+ * as one update, sustaining `width` gradient arrivals per cycle (the
+ * paper uses width 4 to cover the peak rate of the last VGG-S conv
+ * layer).
+ */
+class ParallelQuantileEstimator
+{
+  public:
+    /** Construct with target quantile q and lane count `width`. */
+    ParallelQuantileEstimator(double q, int width = 4, double rho = 1e-3,
+                              double initial_estimate = 1e-6);
+
+    /** Enqueue one observation; flushes every `width` observations. */
+    void update(double x);
+
+    /** Flush a partially filled buffer (end of a tensor stream). */
+    void flush();
+
+    /** Current estimate. */
+    double estimate() const { return base_.estimate(); }
+
+    /** Underlying scalar estimator (for tests). */
+    const QuantileEstimator &base() const { return base_; }
+
+  private:
+    QuantileEstimator base_;
+    int width_;
+    int pending_ = 0;
+    double pendingSum_ = 0.0;
+};
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_QUANTILE_H_

@@ -1,0 +1,160 @@
+#include "sparse/sparse_conv.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace sparse {
+
+namespace {
+
+/** Validate inputs and derive the output spatial extent. */
+int64_t
+outExtent(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    const int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    PROCRUSTES_ASSERT(out > 0, "convolution output would be empty");
+    return out;
+}
+
+} // namespace
+
+Tensor
+sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
+                  int64_t pad)
+{
+    PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
+                      "weights must be CSB conv filters");
+    const Shape &ws = w.denseShape();
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4 && xs[1] == ws[1],
+                      "input channels mismatch");
+    const int64_t n = xs[0];
+    const int64_t c = ws[1];
+    const int64_t h = xs[2];
+    const int64_t width = xs[3];
+    const int64_t k = ws[0];
+    const int64_t r_ext = ws[2];
+    const int64_t s_ext = ws[3];
+    const int64_t p_ext = outExtent(h, r_ext, stride, pad);
+    const int64_t q_ext = outExtent(width, s_ext, stride, pad);
+
+    Tensor y(Shape{n, k, p_ext, q_ext});
+    const float *px = x.data();
+    float *py = y.data();
+
+    // Block-major traversal: exactly what the PEs do — fetch one
+    // packed kernel, walk its non-zeros, skip everything else.
+    for (int64_t b = 0; b < w.numBlocks(); ++b) {
+        if (w.blockNnz(b) == 0)
+            continue;   // density known from pointer subtraction
+        const int64_t ok = b / c;
+        const int64_t ic = b % c;
+        const auto vals = w.blockDense(b);
+        for (int64_t e = 0; e < w.blockElems(); ++e) {
+            const float wt = vals[static_cast<size_t>(e)];
+            if (wt == 0.0f)
+                continue;
+            const int64_t r = e / s_ext;
+            const int64_t s = e % s_ext;
+            for (int64_t in = 0; in < n; ++in) {
+                const float *xplane =
+                    px + (in * c + ic) * h * width;
+                float *yplane =
+                    py + (in * k + ok) * p_ext * q_ext;
+                for (int64_t p = 0; p < p_ext; ++p) {
+                    const int64_t ih = p * stride + r - pad;
+                    if (ih < 0 || ih >= h)
+                        continue;
+                    for (int64_t q = 0; q < q_ext; ++q) {
+                        const int64_t iw = q * stride + s - pad;
+                        if (iw < 0 || iw >= width)
+                            continue;
+                        yplane[p * q_ext + q] +=
+                            wt * xplane[ih * width + iw];
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
+                       const Shape &x_shape, int64_t stride,
+                       int64_t pad)
+{
+    PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
+                      "weights must be CSB conv filters");
+    const Shape &ws = w.denseShape();
+    PROCRUSTES_ASSERT(x_shape.rank() == 4 && x_shape[1] == ws[1],
+                      "x shape mismatch");
+    const int64_t n = x_shape[0];
+    const int64_t c = ws[1];
+    const int64_t h = x_shape[2];
+    const int64_t width = x_shape[3];
+    const int64_t k = ws[0];
+    const int64_t r_ext = ws[2];
+    const int64_t s_ext = ws[3];
+    const int64_t p_ext = outExtent(h, r_ext, stride, pad);
+    const int64_t q_ext = outExtent(width, s_ext, stride, pad);
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, k, p_ext, q_ext}),
+                      "dy shape mismatch");
+
+    Tensor dx(x_shape);
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+
+    for (int64_t b = 0; b < w.numBlocks(); ++b) {
+        if (w.blockNnz(b) == 0)
+            continue;
+        const int64_t ok = b / c;
+        const int64_t ic = b % c;
+        // The backward pass consumes the same packed block through the
+        // 180-degree-rotated view (Figure 2b): non-zero at rotated
+        // position (r', s') contributes with the flipped offsets.
+        const auto vals = w.blockDense(b);
+        for (int64_t e = 0; e < w.blockElems(); ++e) {
+            const float wt = vals[static_cast<size_t>(e)];
+            if (wt == 0.0f)
+                continue;
+            const int64_t r = e / s_ext;
+            const int64_t s = e % s_ext;
+            for (int64_t in = 0; in < n; ++in) {
+                const float *dyplane =
+                    pdy + (in * k + ok) * p_ext * q_ext;
+                float *dxplane =
+                    pdx + (in * c + ic) * h * width;
+                for (int64_t p = 0; p < p_ext; ++p) {
+                    const int64_t ih = p * stride + r - pad;
+                    if (ih < 0 || ih >= h)
+                        continue;
+                    for (int64_t q = 0; q < q_ext; ++q) {
+                        const int64_t iw = q * stride + s - pad;
+                        if (iw < 0 || iw >= width)
+                            continue;
+                        dxplane[ih * width + iw] +=
+                            wt * dyplane[p * q_ext + q];
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+int64_t
+sparseConvMacs(const Tensor &x, const CsbTensor &w, int64_t stride,
+               int64_t pad)
+{
+    const Shape &ws = w.denseShape();
+    const Shape &xs = x.shape();
+    const int64_t p_ext = outExtent(xs[2], ws[2], stride, pad);
+    const int64_t q_ext = outExtent(xs[3], ws[3], stride, pad);
+    // Upper bound (interior): every non-zero weight fires once per
+    // output position per sample.
+    return w.nnz() * xs[0] * p_ext * q_ext;
+}
+
+} // namespace sparse
+} // namespace procrustes

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse convolution executors operating directly on CSB weights.
+ *
+ * The accelerator never materializes dense filters: PEs fetch packed
+ * blocks, walk the mask bits, and skip zero weights (the MAC-skipping
+ * that Figure 1 converts into energy). These functions are the
+ * functional-model equivalent — forward and backward-data convolution
+ * computed straight from a CsbTensor, iterating only over non-zeros,
+ * with the backward pass consuming the same blocks through the
+ * 180°-rotation view. They are validated against the dense nn::Conv2d
+ * reference in tests.
+ */
+
+#ifndef PROCRUSTES_SPARSE_SPARSE_CONV_H_
+#define PROCRUSTES_SPARSE_SPARSE_CONV_H_
+
+#include <cstdint>
+
+#include "sparse/csb.h"
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace sparse {
+
+/**
+ * Forward convolution y = x * W from CSB-encoded filters.
+ *
+ * @param x input activations [N, C, H, W].
+ * @param w CSB-encoded filters whose dense space is [K, C, R, S].
+ * @param stride convolution stride.
+ * @param pad symmetric zero padding.
+ * @return output activations [N, K, P, Q].
+ */
+Tensor sparseConvForward(const Tensor &x, const CsbTensor &w,
+                         int64_t stride, int64_t pad);
+
+/**
+ * Backward-data convolution dx = dy * rot180(W) from the same CSB
+ * blocks (the Figure 2b access pattern: the packed values are
+ * consumed in rotated order while streaming).
+ *
+ * @param dy output-side gradient [N, K, P, Q].
+ * @param w CSB-encoded filters [K, C, R, S].
+ * @param x_shape shape of the forward input (for halo bounds).
+ * @param stride convolution stride.
+ * @param pad symmetric zero padding.
+ * @return input-side gradient with shape x_shape.
+ */
+Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
+                              const Shape &x_shape, int64_t stride,
+                              int64_t pad);
+
+/** Number of multiply-accumulates the last call would have issued. */
+int64_t sparseConvMacs(const Tensor &x, const CsbTensor &w,
+                       int64_t stride, int64_t pad);
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_SPARSE_CONV_H_

@@ -1,0 +1,28 @@
+#include "sparse/weight_recompute.h"
+
+#include "common/rng.h"
+
+namespace procrustes {
+namespace sparse {
+
+double
+WeightRecomputeUnit::standardVariate(uint64_t index) const
+{
+    // Sum of three centred uniform int32 draws has standard deviation
+    // exactly 2^31 (each lane contributes (2^32)^2 / 12 of variance),
+    // so dividing by 2^31 yields a unit-variance, zero-mean variate.
+    const int64_t sum3 = statelessGaussianSum3(seed_, index);
+    return static_cast<double>(sum3) * 0x1.0p-31;
+}
+
+float
+WeightRecomputeUnit::initialWeight(uint64_t index, float init_std,
+                                   float decay) const
+{
+    if (decay == 0.0f)
+        return 0.0f;
+    return static_cast<float>(standardVariate(index)) * init_std * decay;
+}
+
+} // namespace sparse
+} // namespace procrustes

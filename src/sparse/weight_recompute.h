@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Weight-Recompute (WR) unit model.
+ *
+ * Each Procrustes PE contains a WR unit that regenerates initial weight
+ * values on demand instead of storing them (Section V): three xorshift
+ * PRNGs are seeded from the weight index, their outputs are summed to
+ * approximate a Gaussian, scaled by an integer factor implementing the
+ * layer's initialization formula (Xavier / Kaiming) and the
+ * initial-weight decay lambda^t of Algorithm 3, and finally converted
+ * to FP32. The unit is stateless: outputs are a pure function of
+ * (seed, weight index, scale).
+ */
+
+#ifndef PROCRUSTES_SPARSE_WEIGHT_RECOMPUTE_H_
+#define PROCRUSTES_SPARSE_WEIGHT_RECOMPUTE_H_
+
+#include <cstdint>
+
+namespace procrustes {
+namespace sparse {
+
+/** Stateless initial-weight generator backing Dropback training. */
+class WeightRecomputeUnit
+{
+  public:
+    /** Construct with the model-wide seed. */
+    explicit WeightRecomputeUnit(uint64_t seed) : seed_(seed) {}
+
+    /**
+     * Raw approximately-standard-normal variate for a weight index
+     * (mean 0, standard deviation 1, support (-3, 3): an Irwin-Hall(3)
+     * shape from summing three centred uniform draws).
+     */
+    double standardVariate(uint64_t index) const;
+
+    /**
+     * Initial weight value: standardVariate(index) * std * decay.
+     *
+     * @param index flat global weight index.
+     * @param init_std the layer's initialization standard deviation
+     *        (e.g. Kaiming sqrt(2/fan_in)); realized by the unit's
+     *        integer scaling multiplier in hardware.
+     * @param decay lambda^t factor from Algorithm 3 (1.0 = no decay,
+     *        0.0 once all initial weights have decayed away).
+     */
+    float initialWeight(uint64_t index, float init_std,
+                        float decay) const;
+
+    /** Model-wide seed. */
+    uint64_t seed() const { return seed_; }
+
+  private:
+    uint64_t seed_;
+};
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_WEIGHT_RECOMPUTE_H_

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the whole-network accelerator roll-ups: the paper's
+ * headline energy/speedup claims in ratio form.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+
+namespace procrustes {
+namespace arch {
+namespace {
+
+struct ModelCase
+{
+    const char *name;
+};
+
+class HeadlineClaims : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static NetworkModel
+    byName(const std::string &name)
+    {
+        for (NetworkModel &m : models())
+            if (m.name == name)
+                return m;
+        ADD_FAILURE() << "unknown model";
+        return {};
+    }
+
+    static std::vector<NetworkModel> &
+    models()
+    {
+        static std::vector<NetworkModel> ms = allModels();
+        return ms;
+    }
+};
+
+TEST_P(HeadlineClaims, EnergyAndSpeedupInPaperBand)
+{
+    const NetworkModel m = byName(GetParam());
+    const auto masks = generateMasks(m, m.paperSparsity, 7);
+    const auto sparse_profiles = buildProfiles(m, masks);
+    const auto dense_profiles = buildDenseProfiles(m);
+
+    const Accelerator procrustes = Accelerator::procrustes();
+    const Accelerator baseline = Accelerator::denseBaseline();
+    const NetworkCost sc = procrustes.evaluate(m, sparse_profiles, 16);
+    const NetworkCost dc = baseline.evaluate(m, dense_profiles, 16);
+
+    const double energy_ratio = dc.totalEnergyJ() / sc.totalEnergyJ();
+    const double speedup = dc.totalCycles() / sc.totalCycles();
+
+    // Paper: 2.27x-3.26x energy, 2.28x-4x speedup across models.
+    // Accept a generous band — absolute constants differ — but the
+    // win must be significant and bounded.
+    EXPECT_GT(energy_ratio, 1.6) << m.name;
+    EXPECT_LT(energy_ratio, 6.0) << m.name;
+    EXPECT_GT(speedup, 1.5) << m.name;
+    EXPECT_LT(speedup, 8.0) << m.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, HeadlineClaims,
+                         ::testing::Values("DenseNet", "WRN-28-10",
+                                           "VGG-S", "MobileNetV2",
+                                           "ResNet18"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &info) {
+                             std::string n = info.param;
+                             for (char &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(Accelerator, HigherSparsityMoreEnergySavings)
+{
+    // Figure 17's trend: ResNet18 at 11.7x saves more than at 3x.
+    const NetworkModel m = buildResNet18();
+    const auto dense_profiles = buildDenseProfiles(m);
+    const double dense_e = Accelerator::denseBaseline()
+                               .evaluate(m, dense_profiles, 16)
+                               .totalEnergyJ();
+    auto ratio_at = [&](double sparsity) {
+        const auto masks = generateMasks(m, sparsity, 7);
+        const auto profiles = buildProfiles(m, masks);
+        return dense_e / Accelerator::procrustes()
+                             .evaluate(m, profiles, 16)
+                             .totalEnergyJ();
+    };
+    EXPECT_GT(ratio_at(11.7), ratio_at(3.0));
+}
+
+TEST(Accelerator, IdealBoundsRealSparse)
+{
+    const NetworkModel m = buildVggS();
+    const auto masks = generateMasks(m, 5.2, 3);
+    const auto profiles = buildProfiles(m, masks);
+    const NetworkCost real =
+        Accelerator::procrustes().evaluate(m, profiles, 16);
+    const NetworkCost ideal =
+        Accelerator::idealSparse().evaluate(m, profiles, 16);
+    EXPECT_LE(ideal.totalCycles(), real.totalCycles());
+    EXPECT_LE(ideal.totalEnergyJ(), real.totalEnergyJ());
+}
+
+TEST(Accelerator, ScalabilityNearIdealForKn)
+{
+    // Figure 20: 4x the PEs gives ~3.9x speedup under K,N, and energy
+    // stays almost unchanged.
+    const NetworkModel m = buildResNet18();
+    const auto masks = generateMasks(m, 11.7, 7);
+    const auto profiles = buildProfiles(m, masks);
+
+    // Batch 64 (as the Figure 1 cycle counts imply): a minibatch of
+    // 16 could not fill the 32-wide array's N axis.
+    const NetworkCost c16 = Accelerator::procrustes(
+                                ArrayConfig::baseline16())
+                                .evaluate(m, profiles, 64);
+    const NetworkCost c32 = Accelerator::procrustes(
+                                ArrayConfig::scaled32())
+                                .evaluate(m, profiles, 64);
+
+    const double speedup = c16.totalCycles() / c32.totalCycles();
+    EXPECT_GT(speedup, 3.0);
+    EXPECT_LE(speedup, 4.05);
+    const double energy_ratio =
+        c32.totalEnergyJ() / c16.totalEnergyJ();
+    EXPECT_NEAR(energy_ratio, 1.0, 0.05);
+}
+
+TEST(Accelerator, PqScalesWorseThanKn)
+{
+    // Figure 20's second claim: mappings that trade utilization for
+    // reuse (P,Q) scale worse than the Procrustes mappings.
+    const NetworkModel m = buildMobileNetV2();
+    const auto masks = generateMasks(m, 10.0, 7);
+    const auto profiles = buildProfiles(m, masks);
+
+    CostOptions opts;
+    opts.sparse = true;
+    opts.balance = BalanceMode::HalfTile;
+    auto speedup_for = [&](MappingKind mk) {
+        const Accelerator a16(ArrayConfig::baseline16(), opts, mk);
+        const Accelerator a32(ArrayConfig::scaled32(), opts, mk);
+        return a16.evaluate(m, profiles, 64).totalCycles() /
+               a32.evaluate(m, profiles, 64).totalCycles();
+    };
+    EXPECT_GT(speedup_for(MappingKind::KN),
+              speedup_for(MappingKind::PQ));
+}
+
+TEST(Accelerator, LayerEvaluationSumsToNetwork)
+{
+    const NetworkModel m = buildDenseNetS();
+    const auto masks = generateMasks(m, 3.9, 5);
+    const auto profiles = buildProfiles(m, masks);
+    const Accelerator acc = Accelerator::procrustes();
+
+    const NetworkCost whole = acc.evaluate(m, profiles, 16);
+    double by_layer = 0.0;
+    for (size_t i = 0; i < m.layers.size(); ++i) {
+        by_layer += acc.evaluateLayer(m.layers[i], profiles[i], 16)
+                        .totalEnergyJ();
+    }
+    EXPECT_NEAR(by_layer, whole.totalEnergyJ(),
+                1e-9 * whole.totalEnergyJ());
+}
+
+} // namespace
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the Table III area/power roll-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_model.h"
+
+namespace procrustes {
+namespace arch {
+namespace {
+
+TEST(AreaModel, ComponentTableMatchesTable3)
+{
+    const AreaModel am;
+    bool found_mac = false;
+    for (const ComponentArea &c : am.components()) {
+        if (c.name == "FP32 MAC") {
+            found_mac = true;
+            EXPECT_NEAR(c.areaUm2, 18875.72, 1e-6);
+            EXPECT_NEAR(c.powerMw, 7.29, 1e-6);
+            EXPECT_TRUE(c.perPe);
+            EXPECT_FALSE(c.procrustesOnly);
+        }
+        if (c.name == "Quantile Engine") {
+            EXPECT_NEAR(c.areaUm2, 9861.4, 1e-6);
+            EXPECT_FALSE(c.perPe);
+            EXPECT_TRUE(c.procrustesOnly);
+        }
+    }
+    EXPECT_TRUE(found_mac);
+}
+
+TEST(AreaModel, BaselineExcludesProcrustesModules)
+{
+    const AreaModel am(256);
+    // Baseline = 256 * (MAC + RF) + GLB.
+    const double expected =
+        256.0 * (18875.72 + 198004.71) + 17109596.5;
+    EXPECT_NEAR(am.baselineAreaUm2(), expected, 1.0);
+}
+
+TEST(AreaModel, ProcrustesAddsPerPeAndSystemModules)
+{
+    const AreaModel am(256);
+    const double extra =
+        256.0 * (1920.84 + 44932.66) + 9861.4 + 8725.23;
+    EXPECT_NEAR(am.procrustesAreaUm2() - am.baselineAreaUm2(), extra,
+                1.0);
+}
+
+TEST(AreaModel, OverheadsNearPaperNumbers)
+{
+    // The paper reports 14% area and 11% power overhead; our roll-up
+    // from the itemized Table III components lands near those (the
+    // paper's totals include un-itemized control logic, so allow a
+    // few points of slack).
+    const AreaModel am(256);
+    EXPECT_GT(am.areaOverhead(), 0.10);
+    EXPECT_LT(am.areaOverhead(), 0.20);
+    EXPECT_GT(am.powerOverhead(), 0.08);
+    EXPECT_LT(am.powerOverhead(), 0.16);
+}
+
+TEST(AreaModel, PrngIsTinyNextToMac)
+{
+    // Section VI-F: the WR unit's area and power "pale in comparison"
+    // to the FP32 MAC.
+    const AreaModel am;
+    double prng_area = 0.0;
+    double mac_area = 0.0;
+    for (const ComponentArea &c : am.components()) {
+        if (c.name == "PRNG (WR unit)")
+            prng_area = c.areaUm2;
+        if (c.name == "FP32 MAC")
+            mac_area = c.areaUm2;
+    }
+    EXPECT_LT(prng_area, 0.12 * mac_area);
+}
+
+TEST(AreaModel, ScalesWithPeCount)
+{
+    const AreaModel a256(256);
+    const AreaModel a1024(1024);
+    // PE area quadruples; the fixed GLB keeps the total below 4x.
+    EXPECT_GT(a1024.baselineAreaUm2(), 3.2 * a256.baselineAreaUm2());
+    // Relative overhead moves only a few points with PE count: the
+    // per-PE overheads scale together while the fixed GLB dilutes.
+    EXPECT_NEAR(a1024.areaOverhead(), a256.areaOverhead(), 0.05);
+}
+
+} // namespace
+} // namespace arch
+} // namespace procrustes

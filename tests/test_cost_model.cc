@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the analytic cost model (latency, utilization, energy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.h"
+#include "arch/model_zoo.h"
+
+namespace procrustes {
+namespace arch {
+namespace {
+
+CostModel
+denseModel()
+{
+    CostOptions o;
+    o.sparse = false;
+    o.balance = BalanceMode::None;
+    return {ArrayConfig::baseline16(), o};
+}
+
+CostModel
+sparseModel(BalanceMode b = BalanceMode::HalfTile)
+{
+    CostOptions o;
+    o.sparse = true;
+    o.balance = b;
+    return {ArrayConfig::baseline16(), o};
+}
+
+LayerSparsityProfile
+maskedProfile(const LayerShape &l, double density, double sigma = 1.0,
+              uint64_t seed = 7, double iact = 0.5)
+{
+    sparse::SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.kernelSigma = sigma;
+    cfg.seed = seed;
+    const auto mask =
+        sparse::makeSyntheticMask(l.K, l.effectiveC(), l.R, l.S, cfg);
+    return {mask, iact};
+}
+
+TEST(CostModel, DenseLatencyMatchesIdealWhenDivisible)
+{
+    // 256 output channels x batch 16 divides the 16x16 array exactly:
+    // dense KN latency must equal MACs / PEs.
+    const LayerShape l = convLayer("c", 64, 256, 3, 16);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    const PhaseCost pc = denseModel().evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, dense, 16);
+    const double ideal =
+        static_cast<double>(16 * l.macsPerSample()) / 256.0;
+    EXPECT_NEAR(pc.computeCycles, ideal, 1e-6 * ideal);
+}
+
+TEST(CostModel, UtilizationLossOnFewChannels)
+{
+    // First conv layer has C = 3: the C,K mapping can only fill 3 of
+    // 16 rows, so latency is ~16/3 of ideal ("inefficient on layers
+    // that have few channels", Section VI-D).
+    const LayerShape l = convLayer("conv1", 3, 64, 3, 32);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 1.0);
+    const CostModel m = denseModel();
+    const double ck = m.evaluatePhase(l, Phase::Forward, MappingKind::CK,
+                                      dense, 16)
+                          .computeCycles;
+    const double kn = m.evaluatePhase(l, Phase::Forward, MappingKind::KN,
+                                      dense, 16)
+                          .computeCycles;
+    EXPECT_GT(ck, 4.0 * kn);
+}
+
+TEST(CostModel, PqSlowOnSmallActivations)
+{
+    // A late 2x2-activation layer keeps only 4 of 256 PEs busy under
+    // the activation-stationary P,Q mapping.
+    const LayerShape l = convLayer("conv5", 512, 512, 3, 2);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    const CostModel m = denseModel();
+    const double pq = m.evaluatePhase(l, Phase::Forward, MappingKind::PQ,
+                                      dense, 16)
+                          .computeCycles;
+    const double kn = m.evaluatePhase(l, Phase::Forward, MappingKind::KN,
+                                      dense, 16)
+                          .computeCycles;
+    EXPECT_GT(pq, 20.0 * kn);
+}
+
+TEST(CostModel, SparseLatencyScalesWithDensity)
+{
+    const LayerShape l = convLayer("c", 128, 256, 3, 8);
+    const auto profile = maskedProfile(l, 0.2);
+    const double dense_cycles =
+        denseModel()
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN,
+                           profile, 16)
+            .computeCycles;
+    const double sparse_cycles =
+        sparseModel()
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN,
+                           profile, 16)
+            .computeCycles;
+    // Balanced sparse execution should approach density x dense
+    // latency; imbalance keeps it above the perfect value.
+    EXPECT_LT(sparse_cycles, 0.6 * dense_cycles);
+    EXPECT_GT(sparse_cycles, 0.18 * dense_cycles);
+}
+
+TEST(CostModel, BalancingOrdering)
+{
+    // unbalanced >= half-tile >= full-chip >= perfect density scaling.
+    const LayerShape l = convLayer("c", 128, 256, 3, 8);
+    const auto profile = maskedProfile(l, 0.2, /*sigma=*/1.5);
+    const double none =
+        sparseModel(BalanceMode::None)
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, profile,
+                           16)
+            .computeCycles;
+    const double half =
+        sparseModel(BalanceMode::HalfTile)
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, profile,
+                           16)
+            .computeCycles;
+    const double full =
+        sparseModel(BalanceMode::FullChip)
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, profile,
+                           16)
+            .computeCycles;
+    EXPECT_GE(none, half - 1e-6);
+    EXPECT_GE(half, full - 1e-6);
+    EXPECT_GT(none, 1.05 * full);   // skewed masks must show imbalance
+}
+
+TEST(CostModel, HalfTileClosesMostOfTheGap)
+{
+    // The Figure 13 claim: half-tile balancing removes the bulk of
+    // the imbalance penalty.
+    const LayerShape l = convLayer("c", 256, 256, 3, 8);
+    const auto profile = maskedProfile(l, 0.2, /*sigma=*/1.5);
+    const CostModel none = sparseModel(BalanceMode::None);
+    const CostModel half = sparseModel(BalanceMode::HalfTile);
+    const CostModel full = sparseModel(BalanceMode::FullChip);
+    const auto cyc = [&](const CostModel &m) {
+        return m.evaluatePhase(l, Phase::Forward, MappingKind::KN,
+                               profile, 16)
+            .computeCycles;
+    };
+    const double gap_before = cyc(none) - cyc(full);
+    const double gap_after = cyc(half) - cyc(full);
+    EXPECT_LT(gap_after, 0.35 * gap_before);
+}
+
+TEST(CostModel, EnergySparseBeatsDense)
+{
+    const LayerShape l = convLayer("c", 128, 128, 3, 16);
+    const auto profile = maskedProfile(l, 0.2);
+    const double dense_e =
+        denseModel()
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, profile,
+                           16)
+            .totalEnergyJ();
+    const double sparse_e =
+        sparseModel()
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, profile,
+                           16)
+            .totalEnergyJ();
+    EXPECT_LT(sparse_e, 0.5 * dense_e);
+}
+
+TEST(CostModel, MacEnergyDominatesForConvLayers)
+{
+    // FP32 training: "MACs dominate the energy usage" (Section VI-C).
+    const LayerShape l = convLayer("c", 256, 256, 3, 8);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    const PhaseCost pc = denseModel().evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, dense, 16);
+    EXPECT_GT(pc.macEnergyJ, pc.rfEnergyJ);
+    EXPECT_GT(pc.macEnergyJ, pc.glbEnergyJ);
+    EXPECT_GT(pc.macEnergyJ, pc.dramEnergyJ);
+}
+
+TEST(CostModel, EnergyNearlyMappingIndependent)
+{
+    // Figure 18's finding: dataflow choice barely moves energy
+    // (within ~20% here; the paper calls it negligible).
+    const LayerShape l = convLayer("c", 128, 256, 3, 16);
+    const auto profile = maskedProfile(l, 0.25);
+    const CostModel m = sparseModel();
+    double lo = 1e300;
+    double hi = 0.0;
+    for (MappingKind mk : kAllMappings) {
+        double e = 0.0;
+        for (Phase p : {Phase::Forward, Phase::Backward,
+                        Phase::WeightUpdate}) {
+            e += m.evaluatePhase(l, p, mk, profile, 16).totalEnergyJ();
+        }
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    EXPECT_LT(hi / lo, 1.25);
+}
+
+TEST(CostModel, DepthwiseLayersAreDramHeavy)
+{
+    // MobileNet's depthwise convolutions have little reuse: DRAM
+    // energy share must far exceed a standard conv's share.
+    const LayerShape dw = depthwiseLayer("dw", 96, 3, 28);
+    const LayerShape conv = convLayer("c", 96, 96, 3, 28);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    const CostModel m = denseModel();
+    const PhaseCost dwc = m.evaluatePhase(dw, Phase::Forward,
+                                          MappingKind::KN, dense, 16);
+    const PhaseCost cc = m.evaluatePhase(conv, Phase::Forward,
+                                         MappingKind::KN, dense, 16);
+    const double dw_share = dwc.dramEnergyJ / dwc.totalEnergyJ();
+    const double conv_share = cc.dramEnergyJ / cc.totalEnergyJ();
+    EXPECT_GT(dw_share, 5.0 * conv_share);
+}
+
+TEST(CostModel, IdealModeBeatsRealSparse)
+{
+    const LayerShape l = convLayer("c", 128, 128, 3, 16);
+    const auto profile = maskedProfile(l, 0.2, 1.5);
+    CostOptions io;
+    io.sparse = true;
+    io.ideal = true;
+    io.balance = BalanceMode::FullChip;
+    const CostModel ideal(ArrayConfig::baseline16(), io);
+    const PhaseCost ip = ideal.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16);
+    const PhaseCost rp = sparseModel().evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16);
+    EXPECT_LE(ip.cycles, rp.cycles);
+    EXPECT_LE(ip.totalEnergyJ(), rp.totalEnergyJ());
+}
+
+TEST(CostModel, WeightUpdateUsesActivationSparsity)
+{
+    const LayerShape l = convLayer("c", 128, 128, 3, 16);
+    // Same weight mask; very different activation densities.
+    const auto dense_acts = maskedProfile(l, 0.2, 1.0, 7, 0.9);
+    const auto sparse_acts = maskedProfile(l, 0.2, 1.0, 7, 0.3);
+    const CostModel m = sparseModel();
+    const double e_dense =
+        m.evaluatePhase(l, Phase::WeightUpdate, MappingKind::KN,
+                        dense_acts, 16)
+            .macEnergyJ;
+    const double e_sparse =
+        m.evaluatePhase(l, Phase::WeightUpdate, MappingKind::KN,
+                        sparse_acts, 16)
+            .macEnergyJ;
+    EXPECT_NEAR(e_sparse / e_dense, 0.3 / 0.9, 0.02);
+}
+
+TEST(CostModel, WaveStatsOverheadZeroWhenDense)
+{
+    const LayerShape l = convLayer("c", 64, 64, 3, 8);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    for (const WaveStats &ws :
+         denseModel().waveStats(l, Phase::Forward, MappingKind::CK,
+                                dense, 16)) {
+        EXPECT_DOUBLE_EQ(ws.overhead(), 0.0);
+    }
+}
+
+TEST(CostModel, CyclesBoundedByDramWhenTrafficDominates)
+{
+    // An fc layer at batch 1 moves many weights per MAC-cycle: with
+    // dramBound enabled the memory interface limits the layer.
+    const LayerShape l = fcLayer("fc", 4096, 4096);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    CostOptions o;
+    o.sparse = false;
+    o.dramBound = true;
+    const CostModel m(ArrayConfig::baseline16(), o);
+    const PhaseCost pc =
+        m.evaluatePhase(l, Phase::Forward, MappingKind::KN, dense, 1);
+    EXPECT_GT(pc.dramCycles, pc.computeCycles);
+    EXPECT_DOUBLE_EQ(pc.cycles, pc.dramCycles);
+
+    // Default reporting assumes double buffering hides DRAM latency.
+    const PhaseCost pc2 = denseModel().evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, dense, 1);
+    EXPECT_DOUBLE_EQ(pc2.cycles, pc2.computeCycles);
+}
+
+TEST(CostModel, PhaseCostAccumulates)
+{
+    PhaseCost a;
+    a.cycles = 1.0;
+    a.macEnergyJ = 2.0;
+    PhaseCost b;
+    b.cycles = 3.0;
+    b.rfEnergyJ = 4.0;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.cycles, 4.0);
+    EXPECT_DOUBLE_EQ(a.totalEnergyJ(), 6.0);
+}
+
+} // namespace
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the Compressed Sparse Block weight format (Section IV-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/csb.h"
+#include "sparse/mask.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+/** Random conv filters with an exact-density mask applied. */
+Tensor
+sparseFilters(int64_t k, int64_t c, int64_t r, int64_t s, double density,
+              uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{k, c, r, s});
+    w.fillGaussian(rng, 1.0f);
+    SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.seed = seed + 1;
+    const SparsityMask m = makeSyntheticMask(k, c, r, s, cfg);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (!m.bits[static_cast<size_t>(i)])
+            w.at(i) = 0.0f;
+    }
+    return w;
+}
+
+Tensor
+sparseMatrix(int64_t rows, int64_t cols, double density, uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{rows, cols});
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (rng.nextDouble() < density)
+            w.at(i) = static_cast<float>(rng.nextGaussian());
+    }
+    return w;
+}
+
+/** Reference 180-degree kernel rotation. */
+Tensor
+rotate180Ref(const Tensor &w)
+{
+    const Shape &s = w.shape();
+    Tensor out(s);
+    for (int64_t k = 0; k < s[0]; ++k) {
+        for (int64_t c = 0; c < s[1]; ++c) {
+            for (int64_t r = 0; r < s[2]; ++r) {
+                for (int64_t q = 0; q < s[3]; ++q) {
+                    out(k, c, s[2] - 1 - r, s[3] - 1 - q) = w(k, c, r, q);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/** Encode/decode round trip across densities (property sweep). */
+class CsbRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CsbRoundTrip, ConvFiltersDecodeExactly)
+{
+    const double density = GetParam();
+    const Tensor w = sparseFilters(8, 6, 3, 3, density, 17);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    EXPECT_FLOAT_EQ(maxAbsDiff(csb.decode(), w), 0.0f);
+    EXPECT_NEAR(csb.density(), density, 0.05);
+}
+
+TEST_P(CsbRoundTrip, RotationMatchesReference)
+{
+    const double density = GetParam();
+    const Tensor w = sparseFilters(5, 4, 3, 3, density, 23);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    EXPECT_FLOAT_EQ(maxAbsDiff(csb.decodeRotated180(), rotate180Ref(w)),
+                    0.0f);
+}
+
+TEST_P(CsbRoundTrip, MatrixDecodeAndTranspose)
+{
+    const double density = GetParam();
+    const Tensor w = sparseMatrix(20, 12, density, 31);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, 4);
+    EXPECT_FLOAT_EQ(maxAbsDiff(csb.decode(), w), 0.0f);
+
+    const Tensor wt = csb.decodeTransposed();
+    ASSERT_EQ(wt.shape(), Shape({12, 20}));
+    for (int64_t i = 0; i < 20; ++i) {
+        for (int64_t j = 0; j < 12; ++j)
+            EXPECT_EQ(wt(j, i), w(i, j));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CsbRoundTrip,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.9));
+
+TEST(Csb, EmptyTensorHasNoValues)
+{
+    Tensor w(Shape{4, 4, 3, 3});
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    EXPECT_EQ(csb.nnz(), 0);
+    EXPECT_FLOAT_EQ(maxAbsDiff(csb.decode(), w), 0.0f);
+}
+
+TEST(Csb, FullyDenseTensorRoundTrips)
+{
+    Xorshift128Plus rng(3);
+    Tensor w(Shape{3, 3, 3, 3});
+    w.fillGaussian(rng, 1.0f);
+    // fillGaussian essentially never produces exact zeros.
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    EXPECT_EQ(csb.nnz(), w.numel());
+    EXPECT_FLOAT_EQ(maxAbsDiff(csb.decode(), w), 0.0f);
+}
+
+TEST(Csb, BlockNnzIsPointerSubtraction)
+{
+    const Tensor w = sparseFilters(6, 5, 3, 3, 0.3, 41);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    const SparsityMask m = SparsityMask::fromTensor(w);
+    ASSERT_EQ(csb.numBlocks(), 30);
+    for (int64_t k = 0; k < 6; ++k) {
+        for (int64_t c = 0; c < 5; ++c) {
+            EXPECT_EQ(csb.blockNnz(k * 5 + c), m.blockNnz(k, c))
+                << "kernel (" << k << ", " << c << ")";
+        }
+    }
+}
+
+TEST(Csb, BlockDenseFetch)
+{
+    Tensor w(Shape{2, 1, 2, 2});
+    w(1, 0, 0, 1) = 3.0f;
+    w(1, 0, 1, 0) = -2.0f;
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    const auto b0 = csb.blockDense(0);
+    const auto b1 = csb.blockDense(1);
+    EXPECT_EQ(b0, (std::vector<float>{0, 0, 0, 0}));
+    EXPECT_EQ(b1, (std::vector<float>{0, 3.0f, -2.0f, 0}));
+}
+
+TEST(Csb, EdgeBlocksInNonDivisibleMatrix)
+{
+    // 7x5 matrix with 3x3 blocks exercises ragged edge blocks.
+    const Tensor w = sparseMatrix(7, 5, 0.4, 47);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, 3);
+    EXPECT_EQ(csb.numBlocks(), 3 * 2);
+    EXPECT_FLOAT_EQ(maxAbsDiff(csb.decode(), w), 0.0f);
+    EXPECT_FLOAT_EQ(csb.decodeTransposed()(4, 6), w(6, 4));
+}
+
+TEST(Csb, StorageAccounting)
+{
+    const Tensor w = sparseFilters(8, 8, 3, 3, 0.2, 53);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    EXPECT_EQ(csb.valueBytes(), csb.nnz() * 4);
+    // 1 bit per dense element.
+    EXPECT_EQ(csb.maskBytes(), w.numel() / 8);
+    EXPECT_EQ(csb.pointerBytes(), (8 * 8 + 1) * 4);
+    EXPECT_EQ(csb.totalBytes(),
+              csb.valueBytes() + csb.maskBytes() + csb.pointerBytes());
+    // At 20% density the compressed form must beat dense storage.
+    EXPECT_LT(csb.totalBytes(), CsbTensor::denseBytes(w.shape()));
+}
+
+TEST(Csb, RotationRejectedForMatrices)
+{
+    const Tensor w = sparseMatrix(4, 4, 0.5, 59);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, 2);
+    EXPECT_DEATH(csb.decodeRotated180(), "conv filters");
+}
+
+TEST(Csb, TranspositionRejectedForConvFilters)
+{
+    const Tensor w = sparseFilters(2, 2, 3, 3, 0.5, 61);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    EXPECT_DEATH(csb.decodeTransposed(), "fc matrices");
+}
+
+TEST(Csb, VariableKernelSizesSupported)
+{
+    // Region size adapts per layer: 1x1, 5x5, 7x7 kernels all encode.
+    for (int64_t kernel : {1, 5, 7}) {
+        const Tensor w =
+            sparseFilters(4, 3, kernel, kernel, 0.3, 67 + kernel);
+        const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+        EXPECT_EQ(csb.blockElems(), kernel * kernel);
+        EXPECT_FLOAT_EQ(maxAbsDiff(csb.decode(), w), 0.0f);
+        EXPECT_FLOAT_EQ(
+            maxAbsDiff(csb.decodeRotated180(), rotate180Ref(w)), 0.0f);
+    }
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the cycle-level PE-array simulator, including agreement
+ * with the analytic cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.h"
+#include "sim/cycle_sim.h"
+#include "sparse/mask.h"
+
+namespace procrustes {
+namespace sim {
+namespace {
+
+using arch::ArrayConfig;
+using arch::BalanceMode;
+using arch::LayerShape;
+using arch::LayerSparsityProfile;
+using arch::MappingKind;
+using arch::Phase;
+
+WaveSpec
+uniformWave(int rows, int cols, int64_t macs, int64_t words_a,
+            int64_t words_b)
+{
+    WaveSpec w;
+    w.rows = rows;
+    w.cols = cols;
+    w.channelA = Channel::RowBus;
+    w.channelB = Channel::ColBus;
+    w.channelOut = Channel::UnicastNet;
+    TileDemand d;
+    d.macs = macs;
+    d.wordsA = words_a;
+    d.wordsB = words_b;
+    d.psumWords = 1;
+    w.tiles.assign(static_cast<size_t>(rows) * cols, d);
+    return w;
+}
+
+TEST(CycleSim, ComputeBoundWaveRunsAtOneMacPerCycle)
+{
+    // Few operand words, heavy reuse: compute-bound.
+    const WaveSpec w = uniformWave(4, 4, 1000, 10, 10);
+    const SimResult r = simulateWave(w, SimConfig{});
+    EXPECT_EQ(r.macsRetired, 16 * 1000);
+    // All PEs retire one MAC per cycle once words flow; slack only in
+    // the first cycles.
+    EXPECT_NEAR(static_cast<double>(r.computeCycles), 1000.0, 15.0);
+}
+
+TEST(CycleSim, BandwidthStarvedWaveStalls)
+{
+    // Every MAC needs a fresh unicast word; aggregate unicast
+    // bandwidth of 16 words/cycle feeds 16 PEs at 1/PE — but 64 PEs
+    // need 4x that, so the wave runs ~4x longer.
+    WaveSpec w = uniformWave(8, 8, 100, 1, 100);
+    w.channelB = Channel::UnicastNet;
+    SimConfig cfg;
+    cfg.unicastWordsPerCycle = 16;
+    const SimResult r = simulateWave(w, cfg);
+    EXPECT_GT(r.computeCycles, 350);
+    EXPECT_GT(r.stallCycles, 0);
+}
+
+TEST(CycleSim, SkewedWaveMatchesMaxTileWork)
+{
+    WaveSpec w = uniformWave(2, 2, 100, 5, 5);
+    w.tiles[0].macs = 1000;   // one heavy PE
+    const SimResult r = simulateWave(w, SimConfig{});
+    EXPECT_NEAR(static_cast<double>(r.computeCycles), 1000.0, 20.0);
+}
+
+TEST(CycleSim, BroadcastChannelFeedsAllPes)
+{
+    WaveSpec w = uniformWave(4, 4, 64, 64, 1);
+    w.channelA = Channel::Broadcast;
+    const SimResult r = simulateWave(w, SimConfig{});
+    // One word per cycle broadcast, each word enables 1 MAC: the wave
+    // takes ~64 cycles with all PEs in lockstep.
+    EXPECT_NEAR(static_cast<double>(r.computeCycles), 64.0, 5.0);
+}
+
+TEST(CycleSim, DrainAddedAfterCompute)
+{
+    WaveSpec w = uniformWave(2, 2, 10, 1, 1);
+    for (auto &t : w.tiles)
+        t.psumWords = 50;
+    w.channelOut = Channel::UnicastNet;
+    SimConfig cfg;
+    cfg.unicastWordsPerCycle = 4;
+    const SimResult r = simulateWave(w, cfg);
+    EXPECT_EQ(r.cycles - r.computeCycles, (4 * 50) / 4);
+}
+
+TEST(CycleSim, ChannelMapping)
+{
+    EXPECT_EQ(channelFor(arch::FlowClass::MulticastRows),
+              Channel::RowBus);
+    EXPECT_EQ(channelFor(arch::FlowClass::ReduceCols), Channel::ColBus);
+    EXPECT_EQ(channelFor(arch::FlowClass::Broadcast),
+              Channel::Broadcast);
+    EXPECT_EQ(channelFor(arch::FlowClass::Unicast), Channel::UnicastNet);
+}
+
+/**
+ * Cross-validation: cycle-level simulation of small layers must agree
+ * with the analytic model's compute latency within 25% (the analytic
+ * model ignores fill/drain and interconnect contention).
+ */
+struct AgreementCase
+{
+    const char *name;
+    MappingKind mapping;
+    Phase phase;
+};
+
+class AnalyticAgreement : public ::testing::TestWithParam<AgreementCase>
+{
+};
+
+TEST_P(AnalyticAgreement, CycleSimWithinBand)
+{
+    const AgreementCase &ac = GetParam();
+    const LayerShape layer = arch::convLayer("c", 32, 32, 3, 8);
+    sparse::SyntheticMaskConfig mc;
+    mc.targetDensity = 0.25;
+    mc.kernelSigma = 1.0;
+    mc.seed = 5;
+    const auto mask = sparse::makeSyntheticMask(
+        layer.K, layer.effectiveC(), layer.R, layer.S, mc);
+    const LayerSparsityProfile profile(mask, 0.5);
+
+    const ArrayConfig acfg = ArrayConfig::baseline16();
+    arch::CostOptions opts;
+    opts.sparse = true;
+    opts.balance = BalanceMode::HalfTile;
+    const arch::CostModel analytic(acfg, opts);
+    const double expected =
+        analytic
+            .evaluatePhase(layer, ac.phase, ac.mapping, profile, 16)
+            .computeCycles;
+
+    SimConfig scfg;
+    scfg.unicastWordsPerCycle = 16;
+    const SimResult sim = simulateLayerPhase(
+        layer, ac.phase, ac.mapping, profile, 16, acfg, scfg,
+        BalanceMode::HalfTile);
+
+    EXPECT_GT(static_cast<double>(sim.computeCycles),
+              0.75 * expected)
+        << ac.name;
+    EXPECT_LT(static_cast<double>(sim.computeCycles), 1.6 * expected)
+        << ac.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AnalyticAgreement,
+    ::testing::Values(
+        AgreementCase{"kn_fw", MappingKind::KN, Phase::Forward},
+        AgreementCase{"kn_bw", MappingKind::KN, Phase::Backward},
+        AgreementCase{"kn_wu", MappingKind::KN, Phase::WeightUpdate},
+        AgreementCase{"cn_fw", MappingKind::CN, Phase::Forward},
+        AgreementCase{"ck_fw", MappingKind::CK, Phase::Forward}),
+    [](const ::testing::TestParamInfo<AgreementCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace sim
+} // namespace procrustes

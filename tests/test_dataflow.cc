@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for mapping / flow classification (Figures 3 and 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/dataflow.h"
+
+namespace procrustes {
+namespace arch {
+namespace {
+
+TEST(Dataflow, CkForwardMatchesFigure3)
+{
+    // Figure 3: x multicast-H (rows carry C), y collect-V, w unicast.
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Iacts,
+                           MappingKind::CK),
+              FlowClass::MulticastRows);
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Oacts,
+                           MappingKind::CK),
+              FlowClass::ReduceCols);
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Weights,
+                           MappingKind::CK),
+              FlowClass::Unicast);
+}
+
+TEST(Dataflow, CkBackwardAndUpdateMatchFigure3Table)
+{
+    // bw: dL/dx output horizontal-reduced, dL/dy vertical, w unicast.
+    EXPECT_EQ(classifyFlow(Phase::Backward, Operand::Iacts,
+                           MappingKind::CK),
+              FlowClass::ReduceRows);
+    EXPECT_EQ(classifyFlow(Phase::Backward, Operand::Oacts,
+                           MappingKind::CK),
+              FlowClass::MulticastCols);
+    EXPECT_EQ(classifyFlow(Phase::Backward, Operand::Weights,
+                           MappingKind::CK),
+              FlowClass::Unicast);
+    // wu: x horizontal, dL/dy vertical, dL/dw unicast (collected).
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Iacts,
+                           MappingKind::CK),
+              FlowClass::MulticastRows);
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Oacts,
+                           MappingKind::CK),
+              FlowClass::MulticastCols);
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Weights,
+                           MappingKind::CK),
+              FlowClass::Unicast);
+}
+
+TEST(Dataflow, KnForwardMatchesFigure11)
+{
+    // Figure 11: w multicast-H (rows carry K), x multicast-V (cols
+    // carry N), y unicast.
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Weights,
+                           MappingKind::KN),
+              FlowClass::MulticastRows);
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Iacts,
+                           MappingKind::KN),
+              FlowClass::MulticastCols);
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Oacts,
+                           MappingKind::KN),
+              FlowClass::Unicast);
+}
+
+TEST(Dataflow, KnBackwardAndUpdateMatchFigure11Table)
+{
+    EXPECT_EQ(classifyFlow(Phase::Backward, Operand::Weights,
+                           MappingKind::KN),
+              FlowClass::MulticastRows);
+    // dL/dx is summed over K: PEs within a column (the K axis)
+    // combine — the "∂L/∂x vertical" row of Figure 11's table.
+    EXPECT_EQ(classifyFlow(Phase::Backward, Operand::Iacts,
+                           MappingKind::KN),
+              FlowClass::ReduceCols);
+    EXPECT_EQ(classifyFlow(Phase::Backward, Operand::Oacts,
+                           MappingKind::KN),
+              FlowClass::Unicast);
+    // wu: dL/dw reduced across the minibatch (horizontal) axis, x
+    // multicast along each column, dL/dy unicast (Figure 11 table).
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Weights,
+                           MappingKind::KN),
+              FlowClass::ReduceRows);
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Iacts,
+                           MappingKind::KN),
+              FlowClass::MulticastCols);
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Oacts,
+                           MappingKind::KN),
+              FlowClass::Unicast);
+}
+
+TEST(Dataflow, PqForwardBroadcastsWeights)
+{
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Weights,
+                           MappingKind::PQ),
+              FlowClass::Broadcast);
+    EXPECT_EQ(classifyFlow(Phase::Forward, Operand::Iacts,
+                           MappingKind::PQ),
+              FlowClass::Unicast);
+    // wu with PQ: the dw output is reduced across the whole array —
+    // the interconnect pain the paper calls out.
+    EXPECT_EQ(classifyFlow(Phase::WeightUpdate, Operand::Weights,
+                           MappingKind::PQ),
+              FlowClass::ReduceAll);
+}
+
+TEST(Dataflow, SpatialReuseFactors)
+{
+    // KN fw: weights shared by 16 columns, x by 16 rows, y unicast.
+    EXPECT_EQ(spatialReuse(Phase::Forward, Operand::Weights,
+                           MappingKind::KN, 16, 16),
+              16);
+    EXPECT_EQ(spatialReuse(Phase::Forward, Operand::Iacts,
+                           MappingKind::KN, 16, 16),
+              16);
+    EXPECT_EQ(spatialReuse(Phase::Forward, Operand::Oacts,
+                           MappingKind::KN, 16, 16),
+              1);
+    // PQ fw: weights broadcast to all 256 PEs.
+    EXPECT_EQ(spatialReuse(Phase::Forward, Operand::Weights,
+                           MappingKind::PQ, 16, 16),
+              256);
+}
+
+TEST(Dataflow, CheapBalancingTruthTable)
+{
+    // fw/bw (weight-sparse): KN and CN balance along one axis; CK has
+    // two sparse axes (needs the Figure 10 interconnect); PQ has none.
+    for (Phase p : {Phase::Forward, Phase::Backward}) {
+        EXPECT_TRUE(supportsCheapBalancing(p, MappingKind::KN));
+        EXPECT_TRUE(supportsCheapBalancing(p, MappingKind::CN));
+        EXPECT_FALSE(supportsCheapBalancing(p, MappingKind::CK));
+        EXPECT_FALSE(supportsCheapBalancing(p, MappingKind::PQ));
+    }
+    // wu (iact-sparse): KN balances along N, CK along C; CN has two
+    // sparse axes; PQ is "hard to load-balance" (two sparse axes).
+    EXPECT_TRUE(supportsCheapBalancing(Phase::WeightUpdate,
+                                       MappingKind::KN));
+    EXPECT_TRUE(supportsCheapBalancing(Phase::WeightUpdate,
+                                       MappingKind::CK));
+    EXPECT_FALSE(supportsCheapBalancing(Phase::WeightUpdate,
+                                        MappingKind::CN));
+    EXPECT_FALSE(supportsCheapBalancing(Phase::WeightUpdate,
+                                        MappingKind::PQ));
+}
+
+TEST(Dataflow, NamesRoundTrip)
+{
+    EXPECT_EQ(mappingName(MappingKind::KN), "KN");
+    EXPECT_EQ(mappingName(MappingKind::PQ), "PQ");
+    EXPECT_EQ(phaseName(Phase::Forward), "fw");
+    EXPECT_EQ(phaseName(Phase::WeightUpdate), "wu");
+    EXPECT_EQ(flowClassName(FlowClass::MulticastRows), "multicast-H");
+}
+
+TEST(Dataflow, OutputOperandsPerPhase)
+{
+    EXPECT_EQ(outputOperand(Phase::Forward), Operand::Oacts);
+    EXPECT_EQ(outputOperand(Phase::Backward), Operand::Iacts);
+    EXPECT_EQ(outputOperand(Phase::WeightUpdate), Operand::Weights);
+}
+
+TEST(Dataflow, SparseOperandPolicy)
+{
+    // One source of sparsity per phase (Section I, insight 1).
+    EXPECT_EQ(sparseOperand(Phase::Forward), Operand::Weights);
+    EXPECT_EQ(sparseOperand(Phase::Backward), Operand::Weights);
+    EXPECT_EQ(sparseOperand(Phase::WeightUpdate), Operand::Iacts);
+}
+
+} // namespace
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the gradual magnitude-pruning baselines (Section II-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/data.h"
+#include "nn/linear.h"
+#include "nn/network.h"
+#include "nn/pooling.h"
+#include "nn/trainer.h"
+#include "sparse/dropback.h"
+#include "sparse/gradual_pruning.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+using nn::Network;
+
+void
+buildMlp(Network &net, uint64_t seed)
+{
+    net.add<nn::Flatten>("fl");
+    net.add<nn::Linear>(2, 96, "fc1");
+    net.add<nn::ReLU>("r1");
+    net.add<nn::Linear>(96, 96, "fc2");
+    net.add<nn::ReLU>("r2");
+    net.add<nn::Linear>(96, 3, "fc3");
+    Xorshift128Plus rng(seed);
+    nn::kaimingInit(net, rng);
+}
+
+TEST(GradualPruning, RejectsBadConfig)
+{
+    GradualPruningConfig cfg;
+    cfg.targetSparsity = 1.0;
+    EXPECT_DEATH(GradualMagnitudePruningOptimizer{cfg}, "sparsity");
+    cfg.targetSparsity = 5.0;
+    cfg.pruneFraction = 1.5;
+    EXPECT_DEATH(GradualMagnitudePruningOptimizer{cfg}, "fraction");
+}
+
+TEST(GradualPruning, DensityDecreasesMonotonically)
+{
+    Network net;
+    buildMlp(net, 1);
+    GradualPruningConfig cfg;
+    cfg.targetSparsity = 5.0;
+    cfg.lr = 0.05f;
+    cfg.pruneInterval = 5;
+    cfg.warmupIterations = 5;
+    GradualMagnitudePruningOptimizer opt(cfg);
+
+    const auto params = net.params();
+    double prev = 1.0;
+    for (int it = 0; it < 100; ++it) {
+        for (nn::Param *p : params)
+            p->grad.fill(0.01f);
+        opt.step(params);
+        EXPECT_LE(opt.currentDensity(), prev + 1e-12);
+        prev = opt.currentDensity();
+    }
+    // Lottery-ticket schedule: density after k events = 0.8^k, floored
+    // at the target.
+    EXPECT_NEAR(opt.currentDensity(), 0.2, 0.02);
+    EXPECT_GE(opt.pruneEvents(), 7);
+}
+
+TEST(GradualPruning, StopsAtTargetSparsity)
+{
+    Network net;
+    buildMlp(net, 2);
+    GradualPruningConfig cfg;
+    cfg.targetSparsity = 2.0;
+    cfg.lr = 0.05f;
+    cfg.pruneInterval = 2;
+    cfg.warmupIterations = 0;
+    GradualMagnitudePruningOptimizer opt(cfg);
+    const auto params = net.params();
+    for (int it = 0; it < 60; ++it) {
+        for (nn::Param *p : params)
+            p->grad.fill(0.01f);
+        opt.step(params);
+    }
+    EXPECT_NEAR(opt.currentDensity(), 0.5, 0.01);
+}
+
+TEST(GradualPruning, PrunedWeightsStayZero)
+{
+    Network net;
+    buildMlp(net, 3);
+    GradualPruningConfig cfg;
+    cfg.targetSparsity = 4.0;
+    cfg.lr = 0.1f;
+    cfg.pruneInterval = 3;
+    cfg.warmupIterations = 0;
+    GradualMagnitudePruningOptimizer opt(cfg);
+    const auto params = net.params();
+    for (int it = 0; it < 50; ++it) {
+        for (nn::Param *p : params)
+            p->grad.fill(0.05f);   // nonzero gradients everywhere
+        opt.step(params);
+    }
+    // Weight sparsity equals 1 - density despite dense gradients.
+    EXPECT_NEAR(nn::weightSparsity(net), 1.0 - opt.currentDensity(),
+                1e-6);
+}
+
+TEST(GradualPruning, AverageDensityFarAboveFinalDensity)
+{
+    // The paper's Section I argument: gradual pruning keeps average
+    // density high over the run, capping whole-training energy
+    // savings; Dropback-style constant-budget training does not.
+    Network net;
+    buildMlp(net, 4);
+    GradualPruningConfig cfg;
+    cfg.targetSparsity = 5.0;
+    cfg.lr = 0.05f;
+    cfg.pruneInterval = 10;
+    cfg.warmupIterations = 40;
+    GradualMagnitudePruningOptimizer opt(cfg);
+    const auto params = net.params();
+    for (int it = 0; it < 150; ++it) {
+        for (nn::Param *p : params)
+            p->grad.fill(0.01f);
+        opt.step(params);
+    }
+    EXPECT_NEAR(opt.currentDensity(), 0.2, 0.05);
+    EXPECT_GT(opt.averageDensity(), 2.0 * opt.currentDensity());
+}
+
+TEST(GradualPruning, TrainsSpiralsToReasonableAccuracy)
+{
+    nn::SpiralConfig dc;
+    dc.samplesPerClass = 100;
+    const auto train = nn::makeSpirals(dc);
+    dc.seed = 91;
+    const auto val = nn::makeSpirals(dc);
+
+    Network net;
+    buildMlp(net, 5);
+    GradualPruningConfig cfg;
+    cfg.targetSparsity = 3.0;
+    cfg.lr = 0.15f;
+    cfg.pruneInterval = 20;
+    cfg.warmupIterations = 100;
+    GradualMagnitudePruningOptimizer opt(cfg);
+    nn::TrainConfig tc;
+    tc.epochs = 40;
+    tc.batchSize = 32;
+    const auto hist = trainNetwork(net, opt, train, val, tc);
+    EXPECT_GT(hist.back().valAccuracy, 0.80);
+    EXPECT_GT(hist.back().weightSparsity, 0.5);
+}
+
+TEST(GradualPruning, EagerStyleScheduleIsSlower)
+{
+    // Eager Pruning removes <1% per event: after the same number of
+    // events its density is far higher than the lottery schedule's.
+    auto run = [](double fraction) {
+        Network net;
+        buildMlp(net, 6);
+        GradualPruningConfig cfg;
+        cfg.targetSparsity = 10.0;
+        cfg.lr = 0.05f;
+        cfg.pruneInterval = 4;
+        cfg.warmupIterations = 0;
+        cfg.pruneFraction = fraction;
+        GradualMagnitudePruningOptimizer opt(cfg);
+        const auto params = net.params();
+        for (int it = 0; it < 80; ++it) {
+            for (nn::Param *p : params)
+                p->grad.fill(0.01f);
+            opt.step(params);
+        }
+        return opt.currentDensity();
+    };
+    EXPECT_GT(run(0.008), 2.0 * run(0.2));
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the half-tile load balancer (Figure 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "arch/load_balancer.h"
+#include "common/rng.h"
+
+namespace procrustes {
+namespace arch {
+namespace {
+
+TEST(LoadBalancer, UniformWorkUnchanged)
+{
+    const std::vector<TileHalves> tiles(16, TileHalves{1.0, 1.0});
+    const auto balanced = rebalanceHalfTiles(tiles);
+    for (double w : balanced)
+        EXPECT_DOUBLE_EQ(w, 2.0);
+    EXPECT_DOUBLE_EQ(rebalancedMax(tiles), unbalancedMax(tiles));
+}
+
+TEST(LoadBalancer, PairsSparseWithDense)
+{
+    // Figure 9's worked example: one dense tile, one empty tile.
+    const std::vector<TileHalves> tiles{{4.0, 4.0}, {0.0, 0.0}};
+    const auto balanced = rebalanceHalfTiles(tiles);
+    // Each new tile gets one heavy and one empty half.
+    EXPECT_DOUBLE_EQ(balanced[0], 4.0);
+    EXPECT_DOUBLE_EQ(balanced[1], 4.0);
+    EXPECT_DOUBLE_EQ(unbalancedMax(tiles), 8.0);
+    EXPECT_DOUBLE_EQ(rebalancedMax(tiles), 4.0);
+}
+
+TEST(LoadBalancer, ConservesTotalWork)
+{
+    Xorshift128Plus rng(5);
+    std::vector<TileHalves> tiles;
+    double total = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        TileHalves t{rng.nextDouble(), rng.nextDouble()};
+        total += t.total();
+        tiles.push_back(t);
+    }
+    const auto balanced = rebalanceHalfTiles(tiles);
+    const double balanced_total =
+        std::accumulate(balanced.begin(), balanced.end(), 0.0);
+    EXPECT_NEAR(balanced_total, total, 1e-12);
+}
+
+/** Property sweep over random working sets of varying skew. */
+class BalancerProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BalancerProperty, NeverIncreasesMaxAndBeatsWorstCase)
+{
+    Xorshift128Plus rng(static_cast<uint64_t>(GetParam()));
+    std::vector<TileHalves> tiles;
+    double total = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        // Lognormal-ish skew mimics kernel-density variation.
+        const double a = std::exp(1.5 * rng.nextGaussian());
+        const double b = std::exp(1.5 * rng.nextGaussian());
+        tiles.push_back({a, b});
+        total += a + b;
+    }
+    const double before = unbalancedMax(tiles);
+    const double after = rebalancedMax(tiles);
+    const double ideal = total / 16.0;
+
+    // Pairing never hurts and never beats perfect balance.
+    EXPECT_LE(after, before + 1e-12);
+    EXPECT_GE(after, ideal - 1e-12);
+}
+
+TEST_P(BalancerProperty, GuaranteedBound)
+{
+    // Opposite-end pairing guarantees max <= ideal + max_half (the
+    // heaviest half is paired with the lightest).
+    Xorshift128Plus rng(static_cast<uint64_t>(GetParam()) + 1000);
+    std::vector<TileHalves> tiles;
+    double max_half = 0.0;
+    double total = 0.0;
+    for (int i = 0; i < 16; ++i) {
+        const double a = rng.nextDouble() * 10.0;
+        const double b = rng.nextDouble() * 10.0;
+        tiles.push_back({a, b});
+        max_half = std::max({max_half, a, b});
+        total += a + b;
+    }
+    EXPECT_LE(rebalancedMax(tiles), total / 16.0 + max_half + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancerProperty,
+                         ::testing::Range(1, 21));
+
+TEST(LoadBalancer, SignificantImprovementOnSkewedSets)
+{
+    // Average improvement over many skewed working sets should be
+    // substantial (the Figure 5 -> Figure 13 transformation).
+    Xorshift128Plus rng(99);
+    double before_sum = 0.0;
+    double after_sum = 0.0;
+    double ideal_sum = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<TileHalves> tiles;
+        double total = 0.0;
+        for (int i = 0; i < 16; ++i) {
+            // Mask-like skew (calibrated sigma, see SyntheticMaskConfig):
+            // strong enough to hurt, mild enough that half-tile pairing
+            // can absorb most of it.
+            const double a = std::exp(0.5 * rng.nextGaussian());
+            const double b = std::exp(0.5 * rng.nextGaussian());
+            tiles.push_back({a, b});
+            total += a + b;
+        }
+        before_sum += unbalancedMax(tiles);
+        after_sum += rebalancedMax(tiles);
+        ideal_sum += total / 16.0;
+    }
+    const double before_overhead = before_sum / ideal_sum - 1.0;
+    const double after_overhead = after_sum / ideal_sum - 1.0;
+    // A solid chunk of the imbalance must vanish. Pairing cannot be
+    // perfect: the heaviest single half floors the balanced maximum,
+    // so expect roughly a halving rather than elimination.
+    EXPECT_LT(after_overhead, 0.6 * before_overhead);
+}
+
+TEST(LoadBalancer, EmptySetDies)
+{
+    const std::vector<TileHalves> empty;
+    EXPECT_DEATH(rebalancedMax(empty), "empty");
+    EXPECT_DEATH(unbalancedMax(empty), "empty");
+}
+
+} // namespace
+} // namespace arch
+} // namespace procrustes

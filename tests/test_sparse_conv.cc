@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the CSB-backed sparse convolution executors, validated
+ * against the dense nn::Conv2d reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "sparse/mask.h"
+#include "sparse/sparse_conv.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+/** Masked random filters at a given density. */
+Tensor
+maskedFilters(int64_t k, int64_t c, int64_t kernel, double density,
+              uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{k, c, kernel, kernel});
+    w.fillGaussian(rng, 0.5f);
+    SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.seed = seed + 1;
+    const SparsityMask m = makeSyntheticMask(k, c, kernel, kernel, cfg);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (!m.bits[static_cast<size_t>(i)])
+            w.at(i) = 0.0f;
+    }
+    return w;
+}
+
+struct ConvCase
+{
+    int64_t stride;
+    int64_t pad;
+    double density;
+};
+
+class SparseConvAgainstDense : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(SparseConvAgainstDense, ForwardMatchesDenseReference)
+{
+    const ConvCase &cc = GetParam();
+    const Tensor w = maskedFilters(6, 4, 3, cc.density, 11);
+
+    nn::Conv2dConfig cfg;
+    cfg.inChannels = 4;
+    cfg.outChannels = 6;
+    cfg.kernel = 3;
+    cfg.stride = cc.stride;
+    cfg.pad = cc.pad;
+    cfg.bias = false;
+    nn::Conv2d dense(cfg, "ref");
+    dense.weight().value = w;
+
+    Xorshift128Plus rng(13);
+    Tensor x(Shape{2, 4, 9, 9});
+    x.fillGaussian(rng, 1.0f);
+
+    const Tensor ref = dense.forward(x, true);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    const Tensor out = sparseConvForward(x, csb, cc.stride, cc.pad);
+    ASSERT_EQ(out.shape(), ref.shape());
+    EXPECT_LT(maxAbsDiff(out, ref), 1e-4f);
+}
+
+TEST_P(SparseConvAgainstDense, BackwardDataMatchesDenseReference)
+{
+    const ConvCase &cc = GetParam();
+    const Tensor w = maskedFilters(5, 3, 3, cc.density, 17);
+
+    nn::Conv2dConfig cfg;
+    cfg.inChannels = 3;
+    cfg.outChannels = 5;
+    cfg.kernel = 3;
+    cfg.stride = cc.stride;
+    cfg.pad = cc.pad;
+    cfg.bias = false;
+    nn::Conv2d dense(cfg, "ref");
+    dense.weight().value = w;
+
+    Xorshift128Plus rng(19);
+    Tensor x(Shape{2, 3, 8, 8});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y = dense.forward(x, true);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+    const Tensor ref_dx = dense.backward(dy);
+
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    const Tensor dx = sparseConvBackwardData(dy, csb, x.shape(),
+                                             cc.stride, cc.pad);
+    ASSERT_EQ(dx.shape(), ref_dx.shape());
+    EXPECT_LT(maxAbsDiff(dx, ref_dx), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SparseConvAgainstDense,
+    ::testing::Values(ConvCase{1, 1, 0.15}, ConvCase{1, 1, 0.5},
+                      ConvCase{1, 0, 0.25}, ConvCase{2, 1, 0.25},
+                      ConvCase{1, 1, 1.0}));
+
+TEST(SparseConv, MacCountScalesWithDensity)
+{
+    Xorshift128Plus rng(23);
+    Tensor x(Shape{1, 4, 8, 8});
+    x.fillGaussian(rng, 1.0f);
+
+    const Tensor dense_w = maskedFilters(8, 4, 3, 1.0, 29);
+    const Tensor sparse_w = maskedFilters(8, 4, 3, 0.2, 31);
+    const auto dense_csb = CsbTensor::encodeConvFilters(dense_w);
+    const auto sparse_csb = CsbTensor::encodeConvFilters(sparse_w);
+
+    const int64_t dense_macs = sparseConvMacs(x, dense_csb, 1, 1);
+    const int64_t sparse_macs = sparseConvMacs(x, sparse_csb, 1, 1);
+    EXPECT_NEAR(static_cast<double>(sparse_macs) /
+                    static_cast<double>(dense_macs),
+                0.2, 0.02);
+}
+
+TEST(SparseConv, EmptyFilterProducesZeroOutput)
+{
+    Tensor w(Shape{2, 2, 3, 3});   // all zeros
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    Xorshift128Plus rng(37);
+    Tensor x(Shape{1, 2, 5, 5});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y = sparseConvForward(x, csb, 1, 1);
+    EXPECT_DOUBLE_EQ(y.sum(), 0.0);
+}
+
+TEST(SparseConv, RejectsChannelMismatch)
+{
+    const Tensor w = maskedFilters(2, 3, 3, 0.5, 41);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    Tensor x(Shape{1, 4, 5, 5});
+    EXPECT_DEATH(sparseConvForward(x, csb, 1, 1), "channels");
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for LayerSparsityProfile: slice densities, half-splits,
+ * and the deterministic activation-density jitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/sparsity_profile.h"
+
+namespace procrustes {
+namespace arch {
+namespace {
+
+sparse::SparsityMask
+checkerboardMask(int64_t k, int64_t c)
+{
+    // Kernel (k, c) fully dense when (k + c) is even, empty otherwise.
+    sparse::SparsityMask m;
+    m.K = k;
+    m.C = c;
+    m.R = 3;
+    m.S = 3;
+    m.bits.assign(static_cast<size_t>(m.numel()), 0);
+    for (int64_t kk = 0; kk < k; ++kk) {
+        for (int64_t cc = 0; cc < c; ++cc) {
+            if ((kk + cc) % 2 == 0) {
+                for (int64_t e = 0; e < 9; ++e)
+                    m.bits[static_cast<size_t>(
+                        (kk * c + cc) * 9 + e)] = 1;
+            }
+        }
+    }
+    return m;
+}
+
+TEST(SparsityProfile, GlobalDensityFromMask)
+{
+    const LayerSparsityProfile p(checkerboardMask(4, 4), 0.5);
+    EXPECT_DOUBLE_EQ(p.weightDensity(), 0.5);
+    EXPECT_TRUE(p.hasMask());
+    EXPECT_EQ(p.maskK(), 4);
+    EXPECT_EQ(p.maskC(), 4);
+}
+
+TEST(SparsityProfile, SliceDensities)
+{
+    const LayerSparsityProfile p(checkerboardMask(4, 4), 0.5);
+    // Every K-slice and C-slice of a checkerboard is half dense.
+    for (int64_t k = 0; k < 4; ++k)
+        EXPECT_DOUBLE_EQ(p.kDensity(k), 0.5);
+    for (int64_t c = 0; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(p.cDensity(c), 0.5);
+}
+
+TEST(SparsityProfile, KernelDensities)
+{
+    const LayerSparsityProfile p(checkerboardMask(2, 2), 0.5);
+    EXPECT_DOUBLE_EQ(p.kernelDensity(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(p.kernelDensity(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(p.kernelDensity(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(p.kernelDensity(1, 1), 1.0);
+}
+
+TEST(SparsityProfile, HalvesSumToSlice)
+{
+    sparse::SyntheticMaskConfig cfg;
+    cfg.targetDensity = 0.3;
+    cfg.seed = 5;
+    const auto mask = sparse::makeSyntheticMask(16, 8, 3, 3, cfg);
+    const LayerSparsityProfile p(mask, 0.5);
+    for (int64_t k = 0; k < 16; ++k) {
+        EXPECT_NEAR(p.kHalfDensity(k, 0) + p.kHalfDensity(k, 1),
+                    p.kDensity(k), 1e-12);
+    }
+    for (int64_t c = 0; c < 8; ++c) {
+        EXPECT_NEAR(p.cHalfDensity(c, 0) + p.cHalfDensity(c, 1),
+                    p.cDensity(c), 1e-12);
+    }
+}
+
+TEST(SparsityProfile, DepthwiseHalvesSplitEvenly)
+{
+    // With a single input channel the balancer cuts the kernel itself;
+    // modelled as an even split.
+    sparse::SyntheticMaskConfig cfg;
+    cfg.targetDensity = 0.4;
+    cfg.seed = 7;
+    const auto mask = sparse::makeSyntheticMask(8, 1, 3, 3, cfg);
+    const LayerSparsityProfile p(mask, 0.5);
+    for (int64_t k = 0; k < 8; ++k) {
+        EXPECT_DOUBLE_EQ(p.kHalfDensity(k, 0), p.kDensity(k) / 2.0);
+        EXPECT_DOUBLE_EQ(p.kHalfDensity(k, 1), p.kDensity(k) / 2.0);
+    }
+}
+
+TEST(SparsityProfile, UniformProfileHasNoMask)
+{
+    const auto p = LayerSparsityProfile::uniform(0.25, 0.6);
+    EXPECT_FALSE(p.hasMask());
+    EXPECT_DOUBLE_EQ(p.weightDensity(), 0.25);
+    EXPECT_DOUBLE_EQ(p.kDensity(3), 0.25);
+    EXPECT_DOUBLE_EQ(p.cDensity(9), 0.25);
+    EXPECT_DOUBLE_EQ(p.kHalfDensity(3, 0), 0.125);
+    EXPECT_DOUBLE_EQ(p.iactDensity(), 0.6);
+}
+
+TEST(SparsityProfile, ActivationJitterIsDeterministicAndBounded)
+{
+    const LayerSparsityProfile p(checkerboardMask(4, 4), 0.5,
+                                 /*iact_sigma=*/0.15);
+    for (int64_t n = 0; n < 64; ++n) {
+        const double d = p.iactSampleDensity(n);
+        EXPECT_DOUBLE_EQ(d, p.iactSampleDensity(n));
+        EXPECT_GE(d, 0.02);
+        EXPECT_LE(d, 1.0);
+    }
+    // Jitter must actually vary across samples.
+    EXPECT_NE(p.iactSampleDensity(0), p.iactSampleDensity(1));
+
+    // The dense-baseline uniform profile carries no jitter.
+    const auto u = LayerSparsityProfile::uniform(1.0, 0.5);
+    EXPECT_DOUBLE_EQ(u.iactSampleDensity(0), u.iactSampleDensity(1));
+}
+
+TEST(SparsityProfile, SpatialAndChannelDensities)
+{
+    sparse::SyntheticMaskConfig cfg;
+    cfg.targetDensity = 0.2;
+    cfg.seed = 9;
+    const auto mask = sparse::makeSyntheticMask(8, 8, 3, 3, cfg);
+    const LayerSparsityProfile p(mask, 0.5, /*iact_sigma=*/0.2);
+    double sum = 0.0;
+    for (int64_t pp = 0; pp < 8; ++pp) {
+        for (int64_t q = 0; q < 8; ++q)
+            sum += p.iactSpatialDensity(pp, q);
+    }
+    // Mean of the jittered field stays near the layer mean.
+    EXPECT_NEAR(sum / 64.0, 0.5, 0.1);
+}
+
+TEST(SparsityProfile, OutOfRangeIndicesDie)
+{
+    const LayerSparsityProfile p(checkerboardMask(4, 4), 0.5);
+    EXPECT_DEATH(p.kDensity(4), "out of range");
+    EXPECT_DEATH(p.cDensity(-1), "out of range");
+    EXPECT_DEATH(p.kernelDensity(0, 4), "out of range");
+}
+
+} // namespace
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the dense tensor substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace {
+
+TEST(Shape, BasicProperties)
+{
+    const Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s[0], 2);
+    EXPECT_EQ(s[1], 3);
+    EXPECT_EQ(s[2], 4);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, ScalarShape)
+{
+    const Shape s;
+    EXPECT_EQ(s.rank(), 0);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    const Tensor t(Shape{3, 3});
+    EXPECT_EQ(t.numel(), 9);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, MultiDimIndexingIsRowMajor)
+{
+    Tensor t(Shape{2, 3});
+    t(1, 2) = 5.0f;
+    EXPECT_EQ(t.at(1 * 3 + 2), 5.0f);
+    t(0, 1) = 2.0f;
+    EXPECT_EQ(t.at(1), 2.0f);
+}
+
+TEST(Tensor, OutOfRangeIndexDies)
+{
+    Tensor t(Shape{2, 2});
+    EXPECT_DEATH(t(2, 0), "out of range");
+    EXPECT_DEATH(t(0, 0, 0), "rank mismatch");
+}
+
+TEST(Tensor, FillAndZeroFraction)
+{
+    Tensor t(Shape{10});
+    EXPECT_DOUBLE_EQ(t.zeroFraction(), 1.0);
+    t.fill(2.0f);
+    EXPECT_DOUBLE_EQ(t.zeroFraction(), 0.0);
+    t.at(0) = 0.0f;
+    t.at(1) = 0.0f;
+    EXPECT_DOUBLE_EQ(t.zeroFraction(), 0.2);
+    EXPECT_DOUBLE_EQ(t.sum(), 16.0);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape{2, 6});
+    t(1, 3) = 7.0f;
+    t.reshape(Shape{3, 4});
+    EXPECT_EQ(t(2, 1), 7.0f);   // flat index 9 in both layouts
+    EXPECT_DEATH(t.reshape(Shape{5, 5}), "element count");
+}
+
+TEST(Tensor, GaussianFillMoments)
+{
+    Xorshift128Plus rng(3);
+    Tensor t(Shape{100, 100});
+    t.fillGaussian(rng, 2.0f);
+    const double m = t.sum() / t.numel();
+    double sq = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        sq += t.at(i) * t.at(i);
+    EXPECT_NEAR(m, 0.0, 0.05);
+    EXPECT_NEAR(sq / t.numel(), 4.0, 0.15);
+}
+
+TEST(Tensor, UniformFillRange)
+{
+    Xorshift128Plus rng(3);
+    Tensor t(Shape{1000});
+    t.fillUniform(rng, -1.0f, 1.0f);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t.at(i), -1.0f);
+        EXPECT_LT(t.at(i), 1.0f);
+    }
+}
+
+TEST(TensorOps, AddInPlace)
+{
+    Tensor a(Shape{4});
+    Tensor b(Shape{4});
+    a.fill(1.0f);
+    b.fill(2.5f);
+    addInPlace(a, b);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(a.at(i), 3.5f);
+}
+
+TEST(TensorOps, ShapeMismatchDies)
+{
+    Tensor a(Shape{4});
+    Tensor b(Shape{5});
+    EXPECT_DEATH(addInPlace(a, b), "shape mismatch");
+}
+
+TEST(TensorOps, ScaleInPlace)
+{
+    Tensor a(Shape{3});
+    a.fill(2.0f);
+    scaleInPlace(a, -0.5f);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(a.at(i), -1.0f);
+}
+
+TEST(TensorOps, MaxAbsDiff)
+{
+    Tensor a(Shape{3});
+    Tensor b(Shape{3});
+    a.at(1) = 1.0f;
+    b.at(1) = -2.0f;
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 3.0f);
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, a), 0.0f);
+}
+
+} // namespace
+} // namespace procrustes

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the Weight-Recompute (WR) unit model (Section V).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/weight_recompute.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+TEST(WeightRecompute, StatelessAndDeterministic)
+{
+    const WeightRecomputeUnit wr(42);
+    const WeightRecomputeUnit wr2(42);
+    for (uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(wr.initialWeight(i, 0.1f, 1.0f),
+                  wr2.initialWeight(i, 0.1f, 1.0f));
+        // Repeated queries of the same unit agree (no hidden state).
+        EXPECT_EQ(wr.initialWeight(i, 0.1f, 1.0f),
+                  wr.initialWeight(i, 0.1f, 1.0f));
+    }
+}
+
+TEST(WeightRecompute, DifferentSeedsProduceDifferentWeights)
+{
+    const WeightRecomputeUnit a(1);
+    const WeightRecomputeUnit b(2);
+    int same = 0;
+    for (uint64_t i = 0; i < 100; ++i) {
+        if (a.initialWeight(i, 1.0f, 1.0f) ==
+            b.initialWeight(i, 1.0f, 1.0f))
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(WeightRecompute, ApproximatelyStandardNormal)
+{
+    const WeightRecomputeUnit wr(7);
+    const int n = 100000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+        const double v = wr.standardVariate(i);
+        sum += v;
+        sq += v * v;
+        // Irwin-Hall(3) support is bounded.
+        EXPECT_GT(v, -3.0);
+        EXPECT_LT(v, 3.0);
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(WeightRecompute, TailsLighterThanUniform)
+{
+    // The sum-of-three shape concentrates mass near zero: more than
+    // half the variates should fall within one standard deviation
+    // (a single uniform would put ~58% outside +-1 of its 3-sigma-wide
+    // support; Irwin-Hall(3) puts ~62.5% inside).
+    const WeightRecomputeUnit wr(9);
+    int inside = 0;
+    const int n = 50000;
+    for (uint64_t i = 0; i < n; ++i) {
+        if (std::fabs(wr.standardVariate(i)) < 1.0)
+            ++inside;
+    }
+    EXPECT_GT(static_cast<double>(inside) / n, 0.55);
+}
+
+TEST(WeightRecompute, ScalingImplementsInitFormula)
+{
+    const WeightRecomputeUnit wr(11);
+    // Kaiming std for fan_in 50.
+    const float std = std::sqrt(2.0f / 50.0f);
+    const float base = wr.initialWeight(5, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(wr.initialWeight(5, std, 1.0f), base * std);
+}
+
+TEST(WeightRecompute, DecayScalesAndZeroKillsOutput)
+{
+    const WeightRecomputeUnit wr(13);
+    const float base = wr.initialWeight(3, 1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(wr.initialWeight(3, 1.0f, 0.5f), base * 0.5f);
+    EXPECT_FLOAT_EQ(wr.initialWeight(3, 1.0f, 0.0f), 0.0f);
+}
+
+TEST(WeightRecompute, DecayScheduleReachesExactZero)
+{
+    // lambda = 0.9 per iteration: after the paper's 1000-iteration
+    // horizon the FP32 product underflows to exactly zero, creating
+    // computation sparsity.
+    const WeightRecomputeUnit wr(17);
+    float decay = 1.0f;
+    for (int t = 0; t < 1000; ++t)
+        decay *= 0.9f;
+    EXPECT_EQ(wr.initialWeight(1, 0.05f, decay), 0.0f);
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes
