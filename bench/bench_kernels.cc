@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Compute-backend benchmark: naive loop-nest conv vs the im2col + tiled
+ * GEMM backend (and the CSB sparse executor) across ResNet18 / VGG-S
+ * layer shapes from the model zoo. Emits a machine-readable
+ * BENCH_kernels.json next to the human-readable table so EXPERIMENTS.md
+ * can track the speedups (schema documented there).
+ *
+ * Usage: bench_kernels [--smoke] [--out PATH] [--batch N]
+ *   --smoke   tiny shapes / single rep (CI wiring check, not a perf run)
+ *   --out     output JSON path (default BENCH_kernels.json)
+ *   --batch   minibatch size per layer (default 2)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/model_zoo.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "kernels/backend.h"
+#include "nn/conv2d.h"
+#include "sparse/csb.h"
+#include "sparse/mask.h"
+#include "sparse/sparse_conv.h"
+
+using namespace procrustes;
+
+namespace {
+
+struct BenchLayer
+{
+    std::string net;
+    std::string name;
+    int64_t c, k, kernel, stride, pad, in_hw;
+};
+
+struct Row
+{
+    BenchLayer layer;
+    int64_t batch = 0;
+    double naive_fwd_ms = 0.0;
+    double gemm_fwd_ms = 0.0;
+    double naive_bwd_ms = 0.0;
+    double gemm_bwd_ms = 0.0;
+    double sparse_fwd_ms = 0.0;
+    double sparse_density = 0.0;
+    double macs = 0.0;   //!< dense forward MACs for GMAC/s rates
+
+    double fwdSpeedup() const { return naive_fwd_ms / gemm_fwd_ms; }
+    double bwdSpeedup() const { return naive_bwd_ms / gemm_bwd_ms; }
+};
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Time fn() adaptively: repeat until ~min_ms elapsed, return ms/rep. */
+template <typename Fn>
+double
+timeMs(Fn &&fn, double min_ms)
+{
+    fn();   // warm-up (and first measurement seed)
+    int reps = 0;
+    const double start = nowMs();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++reps;
+        elapsed = nowMs() - start;
+    } while (elapsed < min_ms && reps < 50);
+    return elapsed / reps;
+}
+
+/**
+ * Conv layer shapes worth timing, pulled from the zoo models: 3x3
+ * layers, deduplicated by geometry, trimmed of the very large
+ * early-ImageNet spatial extents so a full run stays in minutes.
+ */
+std::vector<BenchLayer>
+selectLayers(bool smoke)
+{
+    std::vector<BenchLayer> out;
+    if (smoke) {
+        out.push_back({"smoke", "conv_small", 8, 8, 3, 1, 1, 10});
+        out.push_back({"smoke", "conv_stride2", 8, 16, 3, 2, 1, 10});
+        return out;
+    }
+    auto harvest = [&out](const arch::NetworkModel &m, size_t cap) {
+        size_t taken = 0;
+        for (const arch::LayerShape &l : m.layers) {
+            if (l.type != arch::LayerType::Conv || l.R != 3)
+                continue;
+            if (l.P > 56 || l.C < 32)   // keep runtime bounded
+                continue;
+            // LayerShape::inH() inverts the conv map ignoring padding;
+            // subtract the 'same'-style halo to get the real extent
+            // (e.g. ResNet18 conv2 is 56x56, not 58x58).
+            const int64_t pad = l.R / 2;
+            const BenchLayer cand{m.name, l.name,   l.C,
+                                  l.K,    l.R,      l.stride,
+                                  pad,    l.inH() - 2 * pad};
+            const bool dup = std::any_of(
+                out.begin(), out.end(), [&](const BenchLayer &b) {
+                    return b.c == cand.c && b.k == cand.k &&
+                           b.in_hw == cand.in_hw &&
+                           b.stride == cand.stride;
+                });
+            if (dup)
+                continue;
+            out.push_back(cand);
+            if (++taken >= cap)
+                break;
+        }
+    };
+    harvest(arch::buildResNet18(), 4);
+    harvest(arch::buildVggS(), 3);
+    return out;
+}
+
+Row
+benchOne(const BenchLayer &bl, int64_t batch, bool smoke)
+{
+    Row row;
+    row.layer = bl;
+    row.batch = batch;
+
+    nn::Conv2dConfig cfg;
+    cfg.inChannels = bl.c;
+    cfg.outChannels = bl.k;
+    cfg.kernel = bl.kernel;
+    cfg.stride = bl.stride;
+    cfg.pad = bl.pad;
+    nn::Conv2d naive(cfg, "naive");
+    nn::Conv2d gemm(cfg, "gemm");
+    naive.setBackend(kernels::KernelBackend::kNaive);
+    gemm.setBackend(kernels::KernelBackend::kGemm);
+
+    Xorshift128Plus rng(1234);
+    naive.weight().value.fillGaussian(rng, 0.1f);
+    gemm.weight().value = naive.weight().value;
+    naive.bias().value.fillGaussian(rng, 0.1f);
+    gemm.bias().value = naive.bias().value;
+
+    Tensor x(Shape{batch, bl.c, bl.in_hw, bl.in_hw});
+    x.fillGaussian(rng, 1.0f);
+
+    const int64_t p = naive.outExtent(bl.in_hw);
+    row.macs = static_cast<double>(batch) * bl.k * bl.c * bl.kernel *
+               bl.kernel * p * p;
+
+    Tensor dy(Shape{batch, bl.k, p, p});
+    dy.fillGaussian(rng, 1.0f);
+
+    const double min_ms = smoke ? 1.0 : 200.0;
+    row.naive_fwd_ms = timeMs([&] { naive.forward(x, true); }, min_ms);
+    row.gemm_fwd_ms = timeMs([&] { gemm.forward(x, true); }, min_ms);
+    row.naive_bwd_ms = timeMs([&] { naive.backward(dy); }, min_ms);
+    row.gemm_bwd_ms = timeMs([&] { gemm.backward(dy); }, min_ms);
+
+    // CSB sparse executor at a paper-like 80% weight sparsity.
+    row.sparse_density = 0.2;
+    Tensor wsp = naive.weight().value;
+    sparse::SyntheticMaskConfig mcfg;
+    mcfg.targetDensity = row.sparse_density;
+    mcfg.seed = 99;
+    const sparse::SparsityMask mask = sparse::makeSyntheticMask(
+        bl.k, bl.c, bl.kernel, bl.kernel, mcfg);
+    for (int64_t i = 0; i < wsp.numel(); ++i) {
+        if (!mask.bits[static_cast<size_t>(i)])
+            wsp.at(i) = 0.0f;
+    }
+    const sparse::CsbTensor csb =
+        sparse::CsbTensor::encodeConvFilters(wsp);
+    row.sparse_fwd_ms = timeMs(
+        [&] { sparse::sparseConvForward(x, csb, bl.stride, bl.pad); },
+        min_ms);
+    return row;
+}
+
+bool
+emitJson(const std::vector<Row> &rows, const std::string &path,
+         bool smoke)
+{
+    if (rows.empty()) {
+        std::fprintf(stderr,
+                     "no layers selected; refusing to write %s\n",
+                     path.c_str());
+        return false;
+    }
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    double min_fwd = 1e30, geo_fwd = 0.0, geo_bwd = 0.0;
+    for (const Row &r : rows) {
+        min_fwd = std::min(min_fwd, r.fwdSpeedup());
+        geo_fwd += std::log(r.fwdSpeedup());
+        geo_bwd += std::log(r.bwdSpeedup());
+    }
+    geo_fwd = std::exp(geo_fwd / static_cast<double>(rows.size()));
+    geo_bwd = std::exp(geo_bwd / static_cast<double>(rows.size()));
+
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"threads\": %d,\n",
+                 ThreadPool::global().numThreads());
+    std::fprintf(f, "  \"layers\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"net\": \"%s\", \"layer\": \"%s\", \"N\": %lld, "
+            "\"C\": %lld, \"K\": %lld, \"kernel\": %lld, "
+            "\"stride\": %lld, \"pad\": %lld, \"in_hw\": %lld,\n"
+            "     \"macs\": %.0f,\n"
+            "     \"naive_fwd_ms\": %.3f, \"gemm_fwd_ms\": %.3f, "
+            "\"fwd_speedup\": %.2f,\n"
+            "     \"naive_bwd_ms\": %.3f, \"gemm_bwd_ms\": %.3f, "
+            "\"bwd_speedup\": %.2f,\n"
+            "     \"sparse_fwd_ms\": %.3f, \"sparse_density\": %.2f}%s\n",
+            r.layer.net.c_str(), r.layer.name.c_str(),
+            static_cast<long long>(r.batch),
+            static_cast<long long>(r.layer.c),
+            static_cast<long long>(r.layer.k),
+            static_cast<long long>(r.layer.kernel),
+            static_cast<long long>(r.layer.stride),
+            static_cast<long long>(r.layer.pad),
+            static_cast<long long>(r.layer.in_hw), r.macs,
+            r.naive_fwd_ms, r.gemm_fwd_ms, r.fwdSpeedup(),
+            r.naive_bwd_ms, r.gemm_bwd_ms, r.bwdSpeedup(),
+            r.sparse_fwd_ms, r.sparse_density,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"summary\": {\"geomean_fwd_speedup\": %.2f, "
+                    "\"geomean_bwd_speedup\": %.2f, "
+                    "\"min_fwd_speedup\": %.2f}\n",
+                 geo_fwd, geo_bwd, min_fwd);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_kernels.json";
+    int64_t batch = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+            batch = std::atoll(argv[++i]);
+            if (batch <= 0) {
+                std::fprintf(stderr, "--batch wants a positive integer, "
+                                     "got '%s'\n", argv[i]);
+                return 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--out PATH] [--batch N]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (smoke)
+        batch = 1;
+
+    std::printf("kernel backend bench: %d threads, batch %lld%s\n",
+                ThreadPool::global().numThreads(),
+                static_cast<long long>(batch), smoke ? " (smoke)" : "");
+    std::printf("%-10s %-12s %19s | %10s %10s %7s | %10s %10s %7s | %10s\n",
+                "net", "layer", "shape", "naive-fw", "gemm-fw", "spd",
+                "naive-bw", "gemm-bw", "spd", "sparse-fw");
+
+    std::vector<Row> rows;
+    for (const BenchLayer &bl : selectLayers(smoke)) {
+        const Row r = benchOne(bl, batch, smoke);
+        char shape[32];
+        std::snprintf(shape, sizeof(shape), "%lldx%lldx%lld s%lld",
+                      static_cast<long long>(r.layer.c),
+                      static_cast<long long>(r.layer.k),
+                      static_cast<long long>(r.layer.in_hw),
+                      static_cast<long long>(r.layer.stride));
+        std::printf(
+            "%-10s %-12s %19s | %8.1fms %8.1fms %6.1fx | %8.1fms "
+            "%8.1fms %6.1fx | %8.1fms\n",
+            r.layer.net.c_str(), r.layer.name.c_str(), shape,
+            r.naive_fwd_ms, r.gemm_fwd_ms, r.fwdSpeedup(),
+            r.naive_bwd_ms, r.gemm_bwd_ms, r.bwdSpeedup(),
+            r.sparse_fwd_ms);
+        rows.push_back(r);
+    }
+    return emitJson(rows, out, smoke) ? 0 : 1;
+}

@@ -16,6 +16,8 @@
 
 #include "arch/accelerator.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "kernels/backend.h"
 #include "nn/activations.h"
 #include "nn/data.h"
 #include "nn/linear.h"
@@ -30,6 +32,13 @@ using namespace procrustes;
 int
 main()
 {
+    // Layers pick up the process default (override with
+    // PROCRUSTES_KERNEL_BACKEND=naive|gemm, PROCRUSTES_NUM_THREADS=n).
+    std::printf("compute backend: %s, %d threads\n",
+                kernels::kernelBackendName(
+                    kernels::defaultKernelBackend()),
+                ThreadPool::global().numThreads());
+
     // 1. A small over-parameterized MLP on the spiral task.
     nn::Network net;
     net.add<nn::Flatten>("fl");

@@ -1,0 +1,58 @@
+#include "kernels/backend.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace kernels {
+
+namespace {
+
+KernelBackend
+initialBackend()
+{
+    if (const char *env = std::getenv("PROCRUSTES_KERNEL_BACKEND"))
+        return parseKernelBackend(env);
+    return KernelBackend::kGemm;
+}
+
+KernelBackend &
+defaultBackendSlot()
+{
+    static KernelBackend backend = initialBackend();
+    return backend;
+}
+
+} // namespace
+
+KernelBackend
+defaultKernelBackend()
+{
+    return defaultBackendSlot();
+}
+
+void
+setDefaultKernelBackend(KernelBackend backend)
+{
+    defaultBackendSlot() = backend;
+}
+
+const char *
+kernelBackendName(KernelBackend backend)
+{
+    return backend == KernelBackend::kNaive ? "naive" : "gemm";
+}
+
+KernelBackend
+parseKernelBackend(const std::string &name)
+{
+    if (name == "naive")
+        return KernelBackend::kNaive;
+    if (name == "gemm")
+        return KernelBackend::kGemm;
+    FATAL("unknown kernel backend '" + name + "' (want naive|gemm)");
+}
+
+} // namespace kernels
+} // namespace procrustes

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Compute-backend selector for the NN layers.
+ *
+ * Every layer that owns a heavy loop nest (Conv2d, Linear) carries two
+ * implementations: the original direct loop nest (`kNaive`), kept as
+ * the semantic reference for parity tests, and the lowered
+ * im2col + tiled-GEMM path (`kGemm`) that the training benchmarks run
+ * on. The process-wide default starts from the
+ * PROCRUSTES_KERNEL_BACKEND environment variable ("naive" or "gemm")
+ * and can be overridden per layer.
+ */
+
+#ifndef PROCRUSTES_KERNELS_BACKEND_H_
+#define PROCRUSTES_KERNELS_BACKEND_H_
+
+#include <string>
+
+namespace procrustes {
+namespace kernels {
+
+/** Which implementation a layer's forward/backward dispatches to. */
+enum class KernelBackend
+{
+    kNaive,   //!< direct loop nest (reference semantics)
+    kGemm,    //!< im2col lowering + blocked GEMM + thread pool
+};
+
+/** Process-wide default backend newly-constructed layers pick up. */
+KernelBackend defaultKernelBackend();
+
+/** Override the process-wide default. */
+void setDefaultKernelBackend(KernelBackend backend);
+
+/** "naive" / "gemm". */
+const char *kernelBackendName(KernelBackend backend);
+
+/** Parse a backend name; fatal() on anything unrecognized. */
+KernelBackend parseKernelBackend(const std::string &name);
+
+} // namespace kernels
+} // namespace procrustes
+
+#endif // PROCRUSTES_KERNELS_BACKEND_H_

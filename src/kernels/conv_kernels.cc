@@ -1,0 +1,111 @@
+#include "kernels/conv_kernels.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "kernels/gemm.h"
+
+namespace procrustes {
+namespace kernels {
+
+ConvGeom
+convGeomFromTensors(const Tensor &x, const Shape &w_shape, int64_t stride,
+                    int64_t pad)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4, "conv input must be NCHW");
+    PROCRUSTES_ASSERT(w_shape.rank() == 4, "conv filters must be KCRS");
+    PROCRUSTES_ASSERT(xs[1] == w_shape[1], "conv channel mismatch");
+    return makeConvGeom(xs[1], xs[2], xs[3], w_shape[0], w_shape[2],
+                        w_shape[3], stride, pad);
+}
+
+Tensor
+convForwardGemm(const Tensor &x, const Tensor &w, const Tensor *bias,
+                const ConvGeom &g)
+{
+    const int64_t n = x.shape()[0];
+    const int64_t crs = g.colRows();
+    const int64_t pq = g.colCols();
+    Tensor y(Shape{n, g.k, g.p, g.q});
+
+    std::vector<float> col(static_cast<size_t>(crs * pq));
+    const float *px = x.data();
+    const float *pw = w.data();
+    const float *pb = bias ? bias->data() : nullptr;
+    float *py = y.data();
+
+    const int64_t chw = g.c * g.h * g.w;
+    for (int64_t in = 0; in < n; ++in) {
+        im2col(px + in * chw, g, col.data());
+        float *yn = py + in * g.k * pq;
+        gemm(g.k, pq, crs, pw, col.data(), yn, /*accumulate=*/false);
+        if (pb) {
+            for (int64_t ok = 0; ok < g.k; ++ok) {
+                const float b = pb[ok];
+                float *row = yn + ok * pq;
+                for (int64_t j = 0; j < pq; ++j)
+                    row[j] += b;
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+convBackwardGemm(const Tensor &x, const Tensor &w, const Tensor &dy,
+                 const ConvGeom &g, Tensor *dw, Tensor *db)
+{
+    const int64_t n = x.shape()[0];
+    const int64_t crs = g.colRows();
+    const int64_t pq = g.colCols();
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, g.k, g.p, g.q}),
+                      "dy shape mismatch in conv backward");
+    PROCRUSTES_ASSERT(dw && dw->shape() == w.shape(),
+                      "dw shape mismatch in conv backward");
+
+    Tensor dx(x.shape());
+
+    // The backward filter view: one transpose serves every image.
+    std::vector<float> wt(static_cast<size_t>(crs * g.k));
+    transpose(w.data(), g.k, crs, wt.data());
+
+    std::vector<float> col(static_cast<size_t>(crs * pq));
+    std::vector<float> colt(static_cast<size_t>(pq * crs));
+    std::vector<float> dcol(static_cast<size_t>(crs * pq));
+
+    const float *px = x.data();
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    float *pdw = dw->data();
+    float *pdb = db ? db->data() : nullptr;
+
+    const int64_t chw = g.c * g.h * g.w;
+    for (int64_t in = 0; in < n; ++in) {
+        const float *dyn = pdy + in * g.k * pq;
+
+        // Weight-update pass: dW += dY_n * col(X_n)^T.
+        im2col(px + in * chw, g, col.data());
+        transpose(col.data(), crs, pq, colt.data());
+        gemm(g.k, crs, pq, dyn, colt.data(), pdw, /*accumulate=*/true);
+
+        // Backward (data) pass: dX_n = col2im(W^T * dY_n).
+        gemm(crs, pq, g.k, wt.data(), dyn, dcol.data(),
+             /*accumulate=*/false);
+        col2im(dcol.data(), g, pdx + in * chw);
+
+        if (pdb) {
+            for (int64_t ok = 0; ok < g.k; ++ok) {
+                const float *row = dyn + ok * pq;
+                float acc = 0.0f;
+                for (int64_t j = 0; j < pq; ++j)
+                    acc += row[j];
+                pdb[ok] += acc;
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace kernels
+} // namespace procrustes

@@ -1,0 +1,174 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace procrustes {
+namespace kernels {
+
+namespace {
+
+// Register tile: 4 rows x 16 columns (2 AVX2 vectors per row) keeps 8
+// vector accumulators live, which fits the 16 ymm registers with room
+// for the broadcast A values and the B loads.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
+
+// Cache blocks: a KC x NC slab of B (~512 KiB at 256x512 floats) stays
+// L2-resident while kMr rows of A stream against it.
+constexpr int64_t kKc = 256;
+constexpr int64_t kNc = 512;
+
+/**
+ * Interior micro-kernel: C[0:4, 0:16] (+)= A[0:4, 0:kc] * B[0:kc, 0:16].
+ * `first` selects overwrite vs accumulate for this k-slab.
+ */
+inline void
+micro4x16(int64_t kc, const float *a, int64_t lda, const float *b,
+          int64_t ldb, float *c, int64_t ldc, bool first)
+{
+    float acc[kMr][kNr];
+    if (first) {
+        std::memset(acc, 0, sizeof(acc));
+    } else {
+        for (int64_t i = 0; i < kMr; ++i) {
+            for (int64_t j = 0; j < kNr; ++j)
+                acc[i][j] = c[i * ldc + j];
+        }
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *bp = b + p * ldb;
+        const float a0 = a[0 * lda + p];
+        const float a1 = a[1 * lda + p];
+        const float a2 = a[2 * lda + p];
+        const float a3 = a[3 * lda + p];
+        for (int64_t j = 0; j < kNr; ++j) {
+            const float bv = bp[j];
+            acc[0][j] += a0 * bv;
+            acc[1][j] += a1 * bv;
+            acc[2][j] += a2 * bv;
+            acc[3][j] += a3 * bv;
+        }
+    }
+    for (int64_t i = 0; i < kMr; ++i) {
+        for (int64_t j = 0; j < kNr; ++j)
+            c[i * ldc + j] = acc[i][j];
+    }
+}
+
+/** Edge micro-kernel for partial mr x nr tiles. */
+inline void
+microEdge(int64_t mr, int64_t nr, int64_t kc, const float *a, int64_t lda,
+          const float *b, int64_t ldb, float *c, int64_t ldc, bool first)
+{
+    float acc[kMr][kNr];
+    for (int64_t i = 0; i < mr; ++i) {
+        for (int64_t j = 0; j < nr; ++j)
+            acc[i][j] = first ? 0.0f : c[i * ldc + j];
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+        const float *bp = b + p * ldb;
+        for (int64_t i = 0; i < mr; ++i) {
+            const float av = a[i * lda + p];
+            for (int64_t j = 0; j < nr; ++j)
+                acc[i][j] += av * bp[j];
+        }
+    }
+    for (int64_t i = 0; i < mr; ++i) {
+        for (int64_t j = 0; j < nr; ++j)
+            c[i * ldc + j] = acc[i][j];
+    }
+}
+
+/** Full blocked GEMM restricted to the row panel [i0, i1) of C. */
+void
+gemmPanel(int64_t i0, int64_t i1, int64_t n, int64_t k, const float *a,
+          int64_t lda, const float *b, int64_t ldb, float *c, int64_t ldc,
+          bool accumulate)
+{
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+        const int64_t nc = std::min(kNc, n - jc);
+        for (int64_t pc = 0; pc < k; pc += kKc) {
+            const int64_t kc = std::min(kKc, k - pc);
+            const bool first = (pc == 0) && !accumulate;
+            for (int64_t i = i0; i < i1; i += kMr) {
+                const int64_t mr = std::min(kMr, i1 - i);
+                const float *ap = a + i * lda + pc;
+                for (int64_t j = jc; j < jc + nc; j += kNr) {
+                    const int64_t nr = std::min(kNr, jc + nc - j);
+                    const float *bp = b + pc * ldb + j;
+                    float *cp = c + i * ldc + j;
+                    if (mr == kMr && nr == kNr) {
+                        micro4x16(kc, ap, lda, bp, ldb, cp, ldc, first);
+                    } else {
+                        microEdge(mr, nr, kc, ap, lda, bp, ldb, cp, ldc,
+                                  first);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+gemm(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
+     const float *b, int64_t ldb, float *c, int64_t ldc, bool accumulate,
+     ThreadPool *pool)
+{
+    PROCRUSTES_ASSERT(m >= 0 && n >= 0 && k >= 0, "negative gemm extent");
+    PROCRUSTES_ASSERT(lda >= k && ldb >= n && ldc >= n,
+                      "gemm leading dimension too small");
+    if (m == 0 || n == 0)
+        return;
+    if (k == 0) {
+        if (!accumulate) {
+            for (int64_t i = 0; i < m; ++i)
+                std::memset(c + i * ldc, 0,
+                            static_cast<size_t>(n) * sizeof(float));
+        }
+        return;
+    }
+
+    auto panel = [&](int64_t i0, int64_t i1) {
+        gemmPanel(i0, i1, n, k, a, lda, b, ldb, c, ldc, accumulate);
+    };
+    if (pool == nullptr) {
+        panel(0, m);
+        return;
+    }
+    // Row panels are disjoint in C, so the reduction order inside each
+    // output element is fixed and the result is thread-count invariant.
+    pool->parallelFor(0, m, panel, /*grain=*/kMr * 2);
+}
+
+void
+gemm(int64_t m, int64_t n, int64_t k, const float *a, const float *b,
+     float *c, bool accumulate)
+{
+    gemm(m, n, k, a, k, b, n, c, n, accumulate, &ThreadPool::global());
+}
+
+void
+transpose(const float *in, int64_t rows, int64_t cols, float *out)
+{
+    // Blocked to keep both the read and write streams cache-friendly.
+    constexpr int64_t kB = 32;
+    for (int64_t i0 = 0; i0 < rows; i0 += kB) {
+        const int64_t i1 = std::min(rows, i0 + kB);
+        for (int64_t j0 = 0; j0 < cols; j0 += kB) {
+            const int64_t j1 = std::min(cols, j0 + kB);
+            for (int64_t i = i0; i < i1; ++i) {
+                for (int64_t j = j0; j < j1; ++j)
+                    out[j * rows + i] = in[i * cols + j];
+            }
+        }
+    }
+}
+
+} // namespace kernels
+} // namespace procrustes

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cache-blocked single-precision GEMM for the software compute backend.
+ *
+ * All lowered convolution and fully-connected work in the training loop
+ * funnels into one primitive: row-major C = A * B (optionally C += A *
+ * B). The implementation blocks over k and n for cache residency, runs
+ * a register-tiled 4x16 micro-kernel on the interior (which GCC/Clang
+ * auto-vectorize to FMA at -O2 -march=native), and parallelizes over
+ * disjoint row panels of C through the shared ThreadPool — so results
+ * are bitwise deterministic for any thread count.
+ *
+ * Operand transposes (filter rot/transpose views, dy^T for weight
+ * gradients) are materialized explicitly with transpose() rather than
+ * handled by strided kernel variants; the copies are O(matrix) next to
+ * the O(matrix * k) multiply and keep every inner loop unit-stride.
+ */
+
+#ifndef PROCRUSTES_KERNELS_GEMM_H_
+#define PROCRUSTES_KERNELS_GEMM_H_
+
+#include <cstdint>
+
+namespace procrustes {
+
+class ThreadPool;
+
+namespace kernels {
+
+/**
+ * Row-major GEMM: C = A * B, or C += A * B when `accumulate`.
+ *
+ * @param m rows of A and C.
+ * @param n columns of B and C.
+ * @param k columns of A / rows of B.
+ * @param a A, m x k, leading dimension lda >= k.
+ * @param b B, k x n, leading dimension ldb >= n.
+ * @param c C, m x n, leading dimension ldc >= n.
+ * @param accumulate add into C instead of overwriting it.
+ * @param pool pool to parallelize row panels over; nullptr runs serial.
+ */
+void gemm(int64_t m, int64_t n, int64_t k, const float *a, int64_t lda,
+          const float *b, int64_t ldb, float *c, int64_t ldc,
+          bool accumulate, ThreadPool *pool);
+
+/** Convenience overload: packed leading dimensions, global pool. */
+void gemm(int64_t m, int64_t n, int64_t k, const float *a, const float *b,
+          float *c, bool accumulate = false);
+
+/** Row-major out[c][r] = in[r][c] for an r x c matrix. */
+void transpose(const float *in, int64_t rows, int64_t cols, float *out);
+
+} // namespace kernels
+} // namespace procrustes
+
+#endif // PROCRUSTES_KERNELS_GEMM_H_

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * im2col / col2im lowering between NCHW activations and GEMM operands.
+ *
+ * One image [C, H, W] is lowered to a column matrix [C*R*S, P*Q]: row
+ * e = (c*R + r)*S + s holds, for every output position (p, q), the
+ * input element that filter tap (c, r, s) multiplies — zero where the
+ * tap falls in the padding halo. Convolution then becomes
+ * Y[K, P*Q] = W[K, C*R*S] * col, and the data-gradient convolution is
+ * col2im of W^T * dY, the exact adjoint scatter-add.
+ */
+
+#ifndef PROCRUSTES_KERNELS_IM2COL_H_
+#define PROCRUSTES_KERNELS_IM2COL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace procrustes {
+namespace kernels {
+
+/**
+ * Output-coordinate range [lo, hi) whose input projection
+ * o*stride + tap - pad lands inside [0, in_extent) — the padding clip
+ * shared by the im2col lowering, the CSB sparse executors, and the
+ * exact MAC count.
+ */
+inline void
+validOutRange(int64_t out_extent, int64_t in_extent, int64_t tap,
+              int64_t stride, int64_t pad, int64_t *lo, int64_t *hi)
+{
+    const int64_t shift = tap - pad;   // in = out*stride + shift
+    *lo = shift < 0 ? (-shift + stride - 1) / stride : 0;
+    const int64_t last = in_extent - 1 - shift;
+    *hi = last < 0 ? 0 : std::min(out_extent, last / stride + 1);
+    if (*hi < *lo)
+        *hi = *lo;
+}
+
+/** Static geometry of one 2-D convolution. */
+struct ConvGeom
+{
+    int64_t c = 0;        //!< input channels
+    int64_t h = 0;        //!< input height
+    int64_t w = 0;        //!< input width
+    int64_t k = 0;        //!< output channels
+    int64_t r = 0;        //!< filter height
+    int64_t s = 0;        //!< filter width
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t p = 0;        //!< output height
+    int64_t q = 0;        //!< output width
+
+    int64_t colRows() const { return c * r * s; }
+    int64_t colCols() const { return p * q; }
+};
+
+/**
+ * Derive a ConvGeom from input/filter extents (output extents follow
+ * the usual floor formula; asserts they are positive).
+ */
+ConvGeom makeConvGeom(int64_t c, int64_t h, int64_t w, int64_t k,
+                      int64_t r, int64_t s, int64_t stride, int64_t pad);
+
+/**
+ * Lower one image to a column matrix.
+ *
+ * @param x one image, [C, H, W] row-major.
+ * @param g convolution geometry.
+ * @param col output, [C*R*S, P*Q] row-major, fully overwritten
+ *        (padding positions are zero-filled).
+ */
+void im2col(const float *x, const ConvGeom &g, float *col);
+
+/**
+ * Adjoint of im2col: scatter-add a column matrix back to image space.
+ *
+ * @param col [C*R*S, P*Q] row-major.
+ * @param g convolution geometry.
+ * @param x one image, [C, H, W]; contributions are ACCUMULATED into it
+ *        (callers zero it first when they want a plain col2im).
+ */
+void col2im(const float *col, const ConvGeom &g, float *x);
+
+} // namespace kernels
+} // namespace procrustes
+
+#endif // PROCRUSTES_KERNELS_IM2COL_H_

@@ -1,10 +1,16 @@
 #include "nn/conv2d.h"
 
+#include <utility>
+
+#include "kernels/conv_kernels.h"
+
 namespace procrustes {
 namespace nn {
 
 Conv2d::Conv2d(const Conv2dConfig &cfg, const std::string &layer_name)
-    : cfg_(cfg), name_(layer_name)
+    : cfg_(cfg),
+      name_(layer_name),
+      backend_(kernels::defaultKernelBackend())
 {
     PROCRUSTES_ASSERT(cfg.inChannels > 0 && cfg.outChannels > 0,
                       "conv channels must be positive");
@@ -34,6 +40,40 @@ Conv2d::forward(const Tensor &x, bool)
     const Shape &xs = x.shape();
     PROCRUSTES_ASSERT(xs.rank() == 4, "conv input must be NCHW");
     PROCRUSTES_ASSERT(xs[1] == cfg_.inChannels, "conv channel mismatch");
+    // Guard before outExtent's division: a negative numerator truncates
+    // toward zero, so the p > 0 checks downstream would not catch it.
+    PROCRUSTES_ASSERT(xs[2] + 2 * cfg_.pad >= cfg_.kernel &&
+                          xs[3] + 2 * cfg_.pad >= cfg_.kernel,
+                      "kernel larger than padded input");
+    cachedInput_ = x;   // COW alias: no activation copy happens here
+    if (backend_ == kernels::KernelBackend::kGemm) {
+        const kernels::ConvGeom g = kernels::convGeomFromTensors(
+            x, weight_.value.shape(), cfg_.stride, cfg_.pad);
+        return kernels::convForwardGemm(
+            x, weight_.value, cfg_.bias ? &bias_.value : nullptr, g);
+    }
+    return forwardNaive(x);
+}
+
+Tensor
+Conv2d::backward(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(cachedInput_.shape().rank() == 4,
+                      "backward before forward");
+    if (backend_ == kernels::KernelBackend::kGemm) {
+        const kernels::ConvGeom g = kernels::convGeomFromTensors(
+            cachedInput_, weight_.value.shape(), cfg_.stride, cfg_.pad);
+        return kernels::convBackwardGemm(
+            cachedInput_, weight_.value, dy, g, &weight_.grad,
+            cfg_.bias ? &bias_.grad : nullptr);
+    }
+    return backwardNaive(dy);
+}
+
+Tensor
+Conv2d::forwardNaive(const Tensor &x)
+{
+    const Shape &xs = x.shape();
     const int64_t n = xs[0];
     const int64_t c = xs[1];
     const int64_t h = xs[2];
@@ -44,17 +84,17 @@ Conv2d::forward(const Tensor &x, bool)
     const int64_t q = outExtent(w);
     PROCRUSTES_ASSERT(p > 0 && q > 0, "conv output would be empty");
 
-    cachedInput_ = x;
     Tensor y(Shape{n, k, p, q});
 
     const float *px = x.data();
-    const float *pw = weight_.value.data();
+    const float *pw = std::as_const(weight_.value).data();
+    const float *pb =
+        cfg_.bias ? std::as_const(bias_.value).data() : nullptr;
     float *py = y.data();
 
     for (int64_t in = 0; in < n; ++in) {
         for (int64_t ok = 0; ok < k; ++ok) {
-            const float b =
-                cfg_.bias ? bias_.value.data()[ok] : 0.0f;
+            const float b = pb ? pb[ok] : 0.0f;
             for (int64_t op = 0; op < p; ++op) {
                 for (int64_t oq = 0; oq < q; ++oq) {
                     float acc = b;
@@ -86,10 +126,9 @@ Conv2d::forward(const Tensor &x, bool)
 }
 
 Tensor
-Conv2d::backward(const Tensor &dy)
+Conv2d::backwardNaive(const Tensor &dy)
 {
     const Shape &xs = cachedInput_.shape();
-    PROCRUSTES_ASSERT(xs.rank() == 4, "backward before forward");
     const int64_t n = xs[0];
     const int64_t c = xs[1];
     const int64_t h = xs[2];
@@ -102,11 +141,14 @@ Conv2d::backward(const Tensor &dy)
                       "dy shape mismatch in conv backward");
 
     Tensor dx(xs);
-    const float *px = cachedInput_.data();
-    const float *pw = weight_.value.data();
+    // Const reads: a non-const data() would detach the COW alias and
+    // deep-copy the cached activation batch.
+    const float *px = std::as_const(cachedInput_).data();
+    const float *pw = std::as_const(weight_.value).data();
     const float *pdy = dy.data();
     float *pdx = dx.data();
     float *pdw = weight_.grad.data();
+    float *pdb = cfg_.bias ? bias_.grad.data() : nullptr;
 
     // Weight update pass: dW[k,c,r,s] += sum_{n,p,q} dy[n,k,p,q] *
     // x[n,c,p*stride+r-pad,q*stride+s-pad]; and backward pass:
@@ -142,8 +184,8 @@ Conv2d::backward(const Tensor &dy)
                             }
                         }
                     }
-                    if (cfg_.bias)
-                        bias_.grad.data()[ok] += g;
+                    if (pdb)
+                        pdb[ok] += g;
                 }
             }
         }

@@ -7,6 +7,12 @@
  * both the bw pass (dy * rot180(W) -> dx) and the weight-update pass
  * (x * dy -> dW) — exactly the three convolutions the accelerator's
  * dataflows must serve.
+ *
+ * Two interchangeable compute backends implement the layer: the
+ * original direct loop nest (KernelBackend::kNaive, the semantic
+ * reference) and the im2col + tiled-GEMM path in src/kernels/
+ * (KernelBackend::kGemm, the fast default). Parity between the two is
+ * asserted by tests/test_kernels.cc.
  */
 
 #ifndef PROCRUSTES_NN_CONV2D_H_
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.h"
 #include "nn/layer.h"
 
 namespace procrustes {
@@ -31,7 +38,7 @@ struct Conv2dConfig
     bool bias = true;
 };
 
-/** Direct (loop-nest) 2-D convolution layer. */
+/** 2-D convolution layer with selectable compute backend. */
 class Conv2d : public Layer
 {
   public:
@@ -51,6 +58,10 @@ class Conv2d : public Layer
 
     const Conv2dConfig &config() const { return cfg_; }
 
+    /** Compute backend this layer dispatches to. */
+    kernels::KernelBackend backend() const { return backend_; }
+    void setBackend(kernels::KernelBackend b) { backend_ = b; }
+
     /** Output spatial extent for an input extent (shared with tests). */
     int64_t
     outExtent(int64_t in) const
@@ -59,11 +70,16 @@ class Conv2d : public Layer
     }
 
   private:
+    Tensor forwardNaive(const Tensor &x);
+    Tensor backwardNaive(const Tensor &dy);
+
     Conv2dConfig cfg_;
     std::string name_;
     Param weight_;
     Param bias_;
+    kernels::KernelBackend backend_;
     Tensor cachedInput_;   //!< saved for the weight-update convolution
+                           //!< (a COW alias, not a deep copy)
 };
 
 } // namespace nn

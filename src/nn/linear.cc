@@ -1,5 +1,10 @@
 #include "nn/linear.h"
 
+#include <utility>
+#include <vector>
+
+#include "kernels/gemm.h"
+
 namespace procrustes {
 namespace nn {
 
@@ -8,7 +13,8 @@ Linear::Linear(int64_t in_features, int64_t out_features,
     : inFeatures_(in_features),
       outFeatures_(out_features),
       hasBias_(with_bias),
-      name_(layer_name)
+      name_(layer_name),
+      backend_(kernels::defaultKernelBackend())
 {
     PROCRUSTES_ASSERT(in_features > 0 && out_features > 0,
                       "linear features must be positive");
@@ -35,18 +41,98 @@ Linear::forward(const Tensor &x, bool)
     const Shape &xs = x.shape();
     PROCRUSTES_ASSERT(xs.rank() == 2 && xs[1] == inFeatures_,
                       "linear input must be [N, in_features]");
-    const int64_t n = xs[0];
     cachedInput_ = x;
+    if (backend_ == kernels::KernelBackend::kGemm)
+        return forwardGemm(x);
+    return forwardNaive(x);
+}
 
+Tensor
+Linear::backward(const Tensor &dy)
+{
+    const Shape &xs = cachedInput_.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 2, "backward before forward");
+    PROCRUSTES_ASSERT(dy.shape() == Shape({xs[0], outFeatures_}),
+                      "dy shape mismatch in linear backward");
+    if (backend_ == kernels::KernelBackend::kGemm)
+        return backwardGemm(dy);
+    return backwardNaive(dy);
+}
+
+Tensor
+Linear::forwardGemm(const Tensor &x)
+{
+    const int64_t n = x.shape()[0];
+    Tensor y(Shape{n, outFeatures_});
+
+    // y = x * W^T: materialize W^T once so the GEMM streams unit-stride
+    // (member scratch avoids a per-batch allocation; const reads avoid
+    // COW detaches).
+    wtScratch_.resize(static_cast<size_t>(inFeatures_ * outFeatures_));
+    kernels::transpose(std::as_const(weight_.value).data(), outFeatures_,
+                       inFeatures_, wtScratch_.data());
+    kernels::gemm(n, outFeatures_, inFeatures_, x.data(),
+                  wtScratch_.data(), y.data(), /*accumulate=*/false);
+
+    if (hasBias_) {
+        const float *pb = std::as_const(bias_.value).data();
+        float *py = y.data();
+        for (int64_t in = 0; in < n; ++in) {
+            float *row = py + in * outFeatures_;
+            for (int64_t o = 0; o < outFeatures_; ++o)
+                row[o] += pb[o];
+        }
+    }
+    return y;
+}
+
+Tensor
+Linear::backwardGemm(const Tensor &dy)
+{
+    const int64_t n = cachedInput_.shape()[0];
+    Tensor dx(cachedInput_.shape());
+
+    // dx = dy * W (both already in the right layout).
+    kernels::gemm(n, inFeatures_, outFeatures_, dy.data(),
+                  std::as_const(weight_.value).data(), dx.data(),
+                  /*accumulate=*/false);
+
+    // dW += dy^T * x. The cached input is read through a const view so
+    // the COW alias never detaches into a deep copy here.
+    dytScratch_.resize(static_cast<size_t>(n * outFeatures_));
+    kernels::transpose(dy.data(), n, outFeatures_, dytScratch_.data());
+    kernels::gemm(outFeatures_, inFeatures_, n, dytScratch_.data(),
+                  std::as_const(cachedInput_).data(),
+                  weight_.grad.data(), /*accumulate=*/true);
+
+    if (hasBias_) {
+        const float *pdy = dy.data();
+        float *pdb = bias_.grad.data();
+        for (int64_t o = 0; o < outFeatures_; ++o) {
+            float acc = 0.0f;
+            for (int64_t in = 0; in < n; ++in)
+                acc += pdy[in * outFeatures_ + o];
+            pdb[o] += acc;
+        }
+    }
+    return dx;
+}
+
+Tensor
+Linear::forwardNaive(const Tensor &x)
+{
+    const int64_t n = x.shape()[0];
     Tensor y(Shape{n, outFeatures_});
     const float *px = x.data();
-    const float *pw = weight_.value.data();
+    const float *pw = std::as_const(weight_.value).data();
+    const float *pb =
+        hasBias_ ? std::as_const(bias_.value).data() : nullptr;
     float *py = y.data();
     for (int64_t in = 0; in < n; ++in) {
         const float *xr = px + in * inFeatures_;
         for (int64_t o = 0; o < outFeatures_; ++o) {
             const float *wr = pw + o * inFeatures_;
-            float acc = hasBias_ ? bias_.value.data()[o] : 0.0f;
+            float acc = pb ? pb[o] : 0.0f;
             for (int64_t i = 0; i < inFeatures_; ++i)
                 acc += xr[i] * wr[i];
             py[in * outFeatures_ + o] = acc;
@@ -56,20 +142,18 @@ Linear::forward(const Tensor &x, bool)
 }
 
 Tensor
-Linear::backward(const Tensor &dy)
+Linear::backwardNaive(const Tensor &dy)
 {
     const Shape &xs = cachedInput_.shape();
-    PROCRUSTES_ASSERT(xs.rank() == 2, "backward before forward");
     const int64_t n = xs[0];
-    PROCRUSTES_ASSERT(dy.shape() == Shape({n, outFeatures_}),
-                      "dy shape mismatch in linear backward");
 
     Tensor dx(xs);
-    const float *px = cachedInput_.data();
-    const float *pw = weight_.value.data();
+    const float *px = std::as_const(cachedInput_).data();
+    const float *pw = std::as_const(weight_.value).data();
     const float *pdy = dy.data();
     float *pdx = dx.data();
     float *pdw = weight_.grad.data();
+    float *pdb = hasBias_ ? bias_.grad.data() : nullptr;
 
     for (int64_t in = 0; in < n; ++in) {
         const float *xr = px + in * inFeatures_;
@@ -84,8 +168,8 @@ Linear::backward(const Tensor &dy)
                 dwr[i] += g * xr[i];
                 dxr[i] += g * wr[i];
             }
-            if (hasBias_)
-                bias_.grad.data()[o] += g;
+            if (pdb)
+                pdb[o] += g;
         }
     }
     return dx;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.h"
 #include "nn/layer.h"
 
 namespace procrustes {
@@ -37,14 +38,26 @@ class Linear : public Layer
     int64_t inFeatures() const { return inFeatures_; }
     int64_t outFeatures() const { return outFeatures_; }
 
+    /** Compute backend this layer dispatches to. */
+    kernels::KernelBackend backend() const { return backend_; }
+    void setBackend(kernels::KernelBackend b) { backend_ = b; }
+
   private:
+    Tensor forwardNaive(const Tensor &x);
+    Tensor backwardNaive(const Tensor &dy);
+    Tensor forwardGemm(const Tensor &x);
+    Tensor backwardGemm(const Tensor &dy);
+
     int64_t inFeatures_;
     int64_t outFeatures_;
     bool hasBias_;
     std::string name_;
     Param weight_;
     Param bias_;
-    Tensor cachedInput_;
+    kernels::KernelBackend backend_;
+    Tensor cachedInput_;   //!< COW alias of the forward input
+    std::vector<float> wtScratch_;    //!< W^T staging, reused per call
+    std::vector<float> dytScratch_;   //!< dy^T staging, reused per call
 };
 
 } // namespace nn

@@ -1,19 +1,58 @@
 #include "sparse/sparse_conv.h"
 
+#include <vector>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "kernels/im2col.h"   // validOutRange: the shared padding clip
 
 namespace procrustes {
 namespace sparse {
 
 namespace {
 
+using kernels::validOutRange;
+
 /** Validate inputs and derive the output spatial extent. */
 int64_t
 outExtent(int64_t in, int64_t kernel, int64_t stride, int64_t pad)
 {
-    const int64_t out = (in + 2 * pad - kernel) / stride + 1;
-    PROCRUSTES_ASSERT(out > 0, "convolution output would be empty");
-    return out;
+    // Check the numerator, not the quotient: a negative numerator
+    // truncates toward zero and would masquerade as extent 1.
+    PROCRUSTES_ASSERT(in + 2 * pad >= kernel,
+                      "convolution output would be empty");
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/** One non-zero weight of a block with its pre-clipped output ranges. */
+struct Tap
+{
+    float wt;
+    int64_t r, s;
+    int64_t pLo, pHi;   //!< valid output rows [pLo, pHi)
+    int64_t qLo, qHi;   //!< valid output cols [qLo, qHi)
+};
+
+/** Gather the non-zero taps of block b (zero-skipping, as the PEs do). */
+void
+gatherTaps(const CsbTensor &w, int64_t b, int64_t s_ext, int64_t h,
+           int64_t width, int64_t p_ext, int64_t q_ext, int64_t stride,
+           int64_t pad, std::vector<Tap> *taps)
+{
+    taps->clear();
+    const auto vals = w.blockDense(b);
+    for (int64_t e = 0; e < w.blockElems(); ++e) {
+        const float wt = vals[static_cast<size_t>(e)];
+        if (wt == 0.0f)
+            continue;
+        Tap t;
+        t.wt = wt;
+        t.r = e / s_ext;
+        t.s = e % s_ext;
+        validOutRange(p_ext, h, t.r, stride, pad, &t.pLo, &t.pHi);
+        validOutRange(q_ext, width, t.s, stride, pad, &t.qLo, &t.qHi);
+        taps->push_back(t);
+    }
 }
 
 } // namespace
@@ -42,40 +81,44 @@ sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
     const float *px = x.data();
     float *py = y.data();
 
-    // Block-major traversal: exactly what the PEs do — fetch one
-    // packed kernel, walk its non-zeros, skip everything else.
-    for (int64_t b = 0; b < w.numBlocks(); ++b) {
-        if (w.blockNnz(b) == 0)
-            continue;   // density known from pointer subtraction
-        const int64_t ok = b / c;
-        const int64_t ic = b % c;
-        const auto vals = w.blockDense(b);
-        for (int64_t e = 0; e < w.blockElems(); ++e) {
-            const float wt = vals[static_cast<size_t>(e)];
-            if (wt == 0.0f)
-                continue;
-            const int64_t r = e / s_ext;
-            const int64_t s = e % s_ext;
-            for (int64_t in = 0; in < n; ++in) {
-                const float *xplane =
-                    px + (in * c + ic) * h * width;
-                float *yplane =
-                    py + (in * k + ok) * p_ext * q_ext;
-                for (int64_t p = 0; p < p_ext; ++p) {
-                    const int64_t ih = p * stride + r - pad;
-                    if (ih < 0 || ih >= h)
-                        continue;
-                    for (int64_t q = 0; q < q_ext; ++q) {
-                        const int64_t iw = q * stride + s - pad;
-                        if (iw < 0 || iw >= width)
-                            continue;
-                        yplane[p * q_ext + q] +=
-                            wt * xplane[ih * width + iw];
+    // Block-major traversal, partitioned over output channels: each
+    // task owns the y[:, ok, :, :] planes of its ok range, so threads
+    // accumulate into private output slices in a fixed order and the
+    // result is deterministic. Zero blocks and zero weights are
+    // skipped exactly as the PEs skip them.
+    ThreadPool::global().parallelFor(0, k, [&](int64_t ok0, int64_t ok1) {
+        std::vector<Tap> taps;
+        for (int64_t ok = ok0; ok < ok1; ++ok) {
+            for (int64_t ic = 0; ic < c; ++ic) {
+                const int64_t b = ok * c + ic;
+                if (w.blockNnz(b) == 0)
+                    continue;   // density known from pointer subtraction
+                gatherTaps(w, b, s_ext, h, width, p_ext, q_ext, stride,
+                           pad, &taps);
+                for (int64_t in = 0; in < n; ++in) {
+                    const float *xplane = px + (in * c + ic) * h * width;
+                    float *yplane =
+                        py + (in * k + ok) * p_ext * q_ext;
+                    for (const Tap &t : taps) {
+                        // Fold qLo into the base so the pointer never
+                        // points before the buffer (s < pad would
+                        // otherwise form an out-of-bounds base).
+                        const int64_t iw0 =
+                            t.qLo * stride + t.s - pad;
+                        for (int64_t p = t.pLo; p < t.pHi; ++p) {
+                            const float *xrow =
+                                xplane +
+                                (p * stride + t.r - pad) * width + iw0;
+                            float *yrow = yplane + p * q_ext + t.qLo;
+                            const int64_t nq = t.qHi - t.qLo;
+                            for (int64_t q = 0; q < nq; ++q)
+                                yrow[q] += t.wt * xrow[q * stride];
+                        }
                     }
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -105,41 +148,42 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
     const float *pdy = dy.data();
     float *pdx = dx.data();
 
-    for (int64_t b = 0; b < w.numBlocks(); ++b) {
-        if (w.blockNnz(b) == 0)
-            continue;
-        const int64_t ok = b / c;
-        const int64_t ic = b % c;
-        // The backward pass consumes the same packed block through the
-        // 180-degree-rotated view (Figure 2b): non-zero at rotated
-        // position (r', s') contributes with the flipped offsets.
-        const auto vals = w.blockDense(b);
-        for (int64_t e = 0; e < w.blockElems(); ++e) {
-            const float wt = vals[static_cast<size_t>(e)];
-            if (wt == 0.0f)
-                continue;
-            const int64_t r = e / s_ext;
-            const int64_t s = e % s_ext;
-            for (int64_t in = 0; in < n; ++in) {
-                const float *dyplane =
-                    pdy + (in * k + ok) * p_ext * q_ext;
-                float *dxplane =
-                    pdx + (in * c + ic) * h * width;
-                for (int64_t p = 0; p < p_ext; ++p) {
-                    const int64_t ih = p * stride + r - pad;
-                    if (ih < 0 || ih >= h)
-                        continue;
-                    for (int64_t q = 0; q < q_ext; ++q) {
-                        const int64_t iw = q * stride + s - pad;
-                        if (iw < 0 || iw >= width)
-                            continue;
-                        dxplane[ih * width + iw] +=
-                            wt * dyplane[p * q_ext + q];
+    // The backward pass consumes the same packed blocks through the
+    // 180-degree-rotated view (Figure 2b). Partitioning over input
+    // channels makes each task's dx[:, ic, :, :] planes private, so
+    // the scatter-accumulation needs no locks and stays deterministic.
+    ThreadPool::global().parallelFor(0, c, [&](int64_t ic0, int64_t ic1) {
+        std::vector<Tap> taps;
+        for (int64_t ic = ic0; ic < ic1; ++ic) {
+            for (int64_t ok = 0; ok < k; ++ok) {
+                const int64_t b = ok * c + ic;
+                if (w.blockNnz(b) == 0)
+                    continue;
+                gatherTaps(w, b, s_ext, h, width, p_ext, q_ext, stride,
+                           pad, &taps);
+                for (int64_t in = 0; in < n; ++in) {
+                    const float *dyplane =
+                        pdy + (in * k + ok) * p_ext * q_ext;
+                    float *dxplane =
+                        pdx + (in * c + ic) * h * width;
+                    for (const Tap &t : taps) {
+                        const int64_t iw0 =
+                            t.qLo * stride + t.s - pad;
+                        for (int64_t p = t.pLo; p < t.pHi; ++p) {
+                            float *dxrow =
+                                dxplane +
+                                (p * stride + t.r - pad) * width + iw0;
+                            const float *dyrow =
+                                dyplane + p * q_ext + t.qLo;
+                            const int64_t nq = t.qHi - t.qLo;
+                            for (int64_t q = 0; q < nq; ++q)
+                                dxrow[q * stride] += t.wt * dyrow[q];
+                        }
                     }
                 }
             }
         }
-    }
+    });
     return dx;
 }
 
@@ -149,11 +193,32 @@ sparseConvMacs(const Tensor &x, const CsbTensor &w, int64_t stride,
 {
     const Shape &ws = w.denseShape();
     const Shape &xs = x.shape();
-    const int64_t p_ext = outExtent(xs[2], ws[2], stride, pad);
-    const int64_t q_ext = outExtent(xs[3], ws[3], stride, pad);
-    // Upper bound (interior): every non-zero weight fires once per
-    // output position per sample.
-    return w.nnz() * xs[0] * p_ext * q_ext;
+    const int64_t h = xs[2];
+    const int64_t width = xs[3];
+    const int64_t s_ext = ws[3];
+    const int64_t p_ext = outExtent(h, ws[2], stride, pad);
+    const int64_t q_ext = outExtent(width, s_ext, stride, pad);
+
+    // Exact count: a non-zero weight at tap (r, s) fires only for the
+    // output positions whose input projection is in bounds, so clip
+    // each tap's (p, q) iteration space against the padding halo —
+    // matching what the executors above actually compute.
+    int64_t macs = 0;
+    for (int64_t b = 0; b < w.numBlocks(); ++b) {
+        if (w.blockNnz(b) == 0)
+            continue;
+        const auto vals = w.blockDense(b);
+        for (int64_t e = 0; e < w.blockElems(); ++e) {
+            if (vals[static_cast<size_t>(e)] == 0.0f)
+                continue;
+            int64_t p_lo, p_hi, q_lo, q_hi;
+            validOutRange(p_ext, h, e / s_ext, stride, pad, &p_lo, &p_hi);
+            validOutRange(q_ext, width, e % s_ext, stride, pad, &q_lo,
+                       &q_hi);
+            macs += (p_hi - p_lo) * (q_hi - q_lo);
+        }
+    }
+    return macs * xs[0];
 }
 
 } // namespace sparse

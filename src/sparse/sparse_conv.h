@@ -10,6 +10,13 @@
  * with the backward pass consuming the same blocks through the
  * 180°-rotation view. They are validated against the dense nn::Conv2d
  * reference in tests.
+ *
+ * The traversal is partitioned across the shared ThreadPool — over
+ * output channels in the forward pass and input channels in the
+ * backward pass — so every thread accumulates into a private slice of
+ * the output in a fixed order (deterministic for any thread count),
+ * and per-tap output ranges are pre-clipped against the padding halo
+ * so the MAC loops run branch-free.
  */
 
 #ifndef PROCRUSTES_SPARSE_SPARSE_CONV_H_
@@ -51,7 +58,11 @@ Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                               const Shape &x_shape, int64_t stride,
                               int64_t pad);
 
-/** Number of multiply-accumulates the last call would have issued. */
+/**
+ * Exact number of multiply-accumulates sparseConvForward issues for
+ * this input: only in-bounds (padding-clipped) positions are counted,
+ * so cost-model MAC counts match what the kernels execute.
+ */
 int64_t sparseConvMacs(const Tensor &x, const CsbTensor &w,
                        int64_t stride, int64_t pad);
 

@@ -66,7 +66,8 @@ Shape::str() const
 
 Tensor::Tensor(const Shape &shape)
     : shape_(shape),
-      data_(static_cast<size_t>(shape.numel()), 0.0f)
+      storage_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(shape.numel()), 0.0f))
 {
 }
 
@@ -89,22 +90,28 @@ Tensor::flatIndex(std::initializer_list<int64_t> ix) const
 void
 Tensor::fill(float value)
 {
-    for (auto &x : data_)
-        x = value;
+    float *p = data();
+    const int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = value;
 }
 
 void
 Tensor::fillGaussian(Xorshift128Plus &rng, float std)
 {
-    for (auto &x : data_)
-        x = static_cast<float>(rng.nextGaussian()) * std;
+    float *p = data();
+    const int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = static_cast<float>(rng.nextGaussian()) * std;
 }
 
 void
 Tensor::fillUniform(Xorshift128Plus &rng, float lo, float hi)
 {
-    for (auto &x : data_)
-        x = lo + (hi - lo) * rng.nextFloat();
+    float *p = data();
+    const int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i)
+        p[i] = lo + (hi - lo) * rng.nextFloat();
 }
 
 void
@@ -118,23 +125,27 @@ Tensor::reshape(const Shape &new_shape)
 double
 Tensor::sum() const
 {
+    const float *p = data();
+    const int64_t n = numel();
     double acc = 0.0;
-    for (float x : data_)
-        acc += x;
+    for (int64_t i = 0; i < n; ++i)
+        acc += p[i];
     return acc;
 }
 
 double
 Tensor::zeroFraction() const
 {
-    if (data_.empty())
+    const int64_t n = numel();
+    if (n == 0)
         return 0.0;
+    const float *p = data();
     int64_t zeros = 0;
-    for (float x : data_) {
-        if (x == 0.0f)
+    for (int64_t i = 0; i < n; ++i) {
+        if (p[i] == 0.0f)
             ++zeros;
     }
-    return static_cast<double>(zeros) / static_cast<double>(data_.size());
+    return static_cast<double>(zeros) / static_cast<double>(n);
 }
 
 void

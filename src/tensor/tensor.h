@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -66,11 +67,20 @@ class Shape
 };
 
 /**
- * Dense row-major FP32 tensor.
+ * Dense row-major FP32 tensor with copy-on-write storage.
  *
- * Storage is owned; copies are deep. Hot loops in the NN framework index
- * through data() directly, while the variadic operator() provides
- * bounds-checked convenience access for tests and setup code.
+ * Copies and copy-assignments share the underlying buffer; any mutable
+ * access (non-const data()/at()/operator(), fill, ...) detaches the
+ * tensor onto a private copy first. Value semantics are therefore
+ * identical to a deep-copying tensor, but pure caching copies — e.g. a
+ * layer saving its input batch for the weight-update pass — cost O(1)
+ * instead of a full activation copy per batch. Hot loops in the NN
+ * framework index through data() directly, while the variadic
+ * operator() provides bounds-checked convenience access for tests and
+ * setup code.
+ *
+ * Sharing is not thread-safe for concurrent detach; the kernels only
+ * ever hand worker threads raw pointers obtained before dispatch.
  */
 class Tensor
 {
@@ -88,25 +98,42 @@ class Tensor
     const Shape &shape() const { return shape_; }
 
     /** Total element count. */
-    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+    int64_t
+    numel() const
+    {
+        return storage_ ? static_cast<int64_t>(storage_->size()) : 0;
+    }
 
-    /** Raw storage access for hot loops. */
-    float *data() { return data_.data(); }
-    const float *data() const { return data_.data(); }
+    /** Raw storage access for hot loops; mutable access detaches. */
+    float *
+    data()
+    {
+        detach();
+        return storage_ ? storage_->data() : nullptr;
+    }
+
+    const float *data() const
+    {
+        return storage_ ? storage_->data() : nullptr;
+    }
+
+    /** True if this tensor shares its buffer with another copy. */
+    bool sharesStorage() const { return storage_ && storage_.use_count() > 1; }
 
     /** Flat element access with bounds check. */
     float &
     at(int64_t i)
     {
         PROCRUSTES_ASSERT(i >= 0 && i < numel(), "flat index out of range");
-        return data_[static_cast<size_t>(i)];
+        detach();
+        return (*storage_)[static_cast<size_t>(i)];
     }
 
     float
     at(int64_t i) const
     {
         PROCRUSTES_ASSERT(i >= 0 && i < numel(), "flat index out of range");
-        return data_[static_cast<size_t>(i)];
+        return (*storage_)[static_cast<size_t>(i)];
     }
 
     /** Multi-dimensional access; the index count must equal the rank. */
@@ -114,14 +141,16 @@ class Tensor
     float &
     operator()(Ix... ix)
     {
-        return data_[flatIndex({static_cast<int64_t>(ix)...})];
+        const size_t flat = flatIndex({static_cast<int64_t>(ix)...});
+        detach();
+        return (*storage_)[flat];
     }
 
     template <typename... Ix>
     float
     operator()(Ix... ix) const
     {
-        return data_[flatIndex({static_cast<int64_t>(ix)...})];
+        return (*storage_)[flatIndex({static_cast<int64_t>(ix)...})];
     }
 
     /** Set every element to value. */
@@ -148,8 +177,16 @@ class Tensor
   private:
     size_t flatIndex(std::initializer_list<int64_t> ix) const;
 
+    /** Clone the buffer if it is shared (copy-on-write). */
+    void
+    detach()
+    {
+        if (storage_ && storage_.use_count() > 1)
+            storage_ = std::make_shared<std::vector<float>>(*storage_);
+    }
+
     Shape shape_;
-    std::vector<float> data_;
+    std::shared_ptr<std::vector<float>> storage_;
 };
 
 /** Elementwise a += b (shapes must match). */
