@@ -48,12 +48,18 @@ struct Row
     double gemm_fwd_ms = 0.0;
     double naive_bwd_ms = 0.0;
     double gemm_bwd_ms = 0.0;
+    double gemm_fwd_ms_1t = 0.0;   //!< gemm forward on a 1-thread pool
+    double gemm_bwd_ms_1t = 0.0;
     double sparse_fwd_ms = 0.0;
     double sparse_density = 0.0;
     double macs = 0.0;   //!< dense forward MACs for GMAC/s rates
 
     double fwdSpeedup() const { return naive_fwd_ms / gemm_fwd_ms; }
     double bwdSpeedup() const { return naive_bwd_ms / gemm_bwd_ms; }
+
+    /** 1-thread vs N-thread scaling (the batch-parallel win). */
+    double threadFwdSpeedup() const { return gemm_fwd_ms_1t / gemm_fwd_ms; }
+    double threadBwdSpeedup() const { return gemm_bwd_ms_1t / gemm_bwd_ms; }
 };
 
 double
@@ -167,6 +173,20 @@ benchOne(const BenchLayer &bl, int64_t batch, bool smoke)
     row.naive_bwd_ms = timeMs([&] { naive.backward(dy); }, min_ms);
     row.gemm_bwd_ms = timeMs([&] { gemm.backward(dy); }, min_ms);
 
+    // 1-vs-N thread scaling of the batch-parallel gemm path. On a
+    // 1-thread pool this is a no-op re-measurement, recorded anyway so
+    // the JSON schema is uniform.
+    if (ThreadPool::global().numThreads() > 1) {
+        ThreadPool::resetGlobal(1);
+        row.gemm_fwd_ms_1t =
+            timeMs([&] { gemm.forward(x, true); }, min_ms);
+        row.gemm_bwd_ms_1t = timeMs([&] { gemm.backward(dy); }, min_ms);
+        ThreadPool::resetGlobal(0);   // back to env / hardware size
+    } else {
+        row.gemm_fwd_ms_1t = row.gemm_fwd_ms;
+        row.gemm_bwd_ms_1t = row.gemm_bwd_ms;
+    }
+
     // CSB sparse executor at a paper-like 80% weight sparsity.
     row.sparse_density = 0.2;
     Tensor wsp = naive.weight().value;
@@ -204,16 +224,21 @@ emitJson(const std::vector<Row> &rows, const std::string &path,
         return false;
     }
     double min_fwd = 1e30, geo_fwd = 0.0, geo_bwd = 0.0;
+    double geo_tfwd = 0.0, geo_tbwd = 0.0;
     for (const Row &r : rows) {
         min_fwd = std::min(min_fwd, r.fwdSpeedup());
         geo_fwd += std::log(r.fwdSpeedup());
         geo_bwd += std::log(r.bwdSpeedup());
+        geo_tfwd += std::log(r.threadFwdSpeedup());
+        geo_tbwd += std::log(r.threadBwdSpeedup());
     }
     geo_fwd = std::exp(geo_fwd / static_cast<double>(rows.size()));
     geo_bwd = std::exp(geo_bwd / static_cast<double>(rows.size()));
+    geo_tfwd = std::exp(geo_tfwd / static_cast<double>(rows.size()));
+    geo_tbwd = std::exp(geo_tbwd / static_cast<double>(rows.size()));
 
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"version\": 2,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"threads\": %d,\n",
                  ThreadPool::global().numThreads());
@@ -230,6 +255,8 @@ emitJson(const std::vector<Row> &rows, const std::string &path,
             "\"fwd_speedup\": %.2f,\n"
             "     \"naive_bwd_ms\": %.3f, \"gemm_bwd_ms\": %.3f, "
             "\"bwd_speedup\": %.2f,\n"
+            "     \"gemm_fwd_ms_1t\": %.3f, \"gemm_bwd_ms_1t\": %.3f, "
+            "\"thread_fwd_speedup\": %.2f, \"thread_bwd_speedup\": %.2f,\n"
             "     \"sparse_fwd_ms\": %.3f, \"sparse_density\": %.2f}%s\n",
             r.layer.net.c_str(), r.layer.name.c_str(),
             static_cast<long long>(r.batch),
@@ -241,14 +268,17 @@ emitJson(const std::vector<Row> &rows, const std::string &path,
             static_cast<long long>(r.layer.in_hw), r.macs,
             r.naive_fwd_ms, r.gemm_fwd_ms, r.fwdSpeedup(),
             r.naive_bwd_ms, r.gemm_bwd_ms, r.bwdSpeedup(),
-            r.sparse_fwd_ms, r.sparse_density,
+            r.gemm_fwd_ms_1t, r.gemm_bwd_ms_1t, r.threadFwdSpeedup(),
+            r.threadBwdSpeedup(), r.sparse_fwd_ms, r.sparse_density,
             i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"summary\": {\"geomean_fwd_speedup\": %.2f, "
                     "\"geomean_bwd_speedup\": %.2f, "
-                    "\"min_fwd_speedup\": %.2f}\n",
-                 geo_fwd, geo_bwd, min_fwd);
+                    "\"min_fwd_speedup\": %.2f,\n"
+                    "              \"geomean_thread_fwd_speedup\": %.2f, "
+                    "\"geomean_thread_bwd_speedup\": %.2f}\n",
+                 geo_fwd, geo_bwd, min_fwd, geo_tfwd, geo_tbwd);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
@@ -288,9 +318,10 @@ main(int argc, char **argv)
     std::printf("kernel backend bench: %d threads, batch %lld%s\n",
                 ThreadPool::global().numThreads(),
                 static_cast<long long>(batch), smoke ? " (smoke)" : "");
-    std::printf("%-10s %-12s %19s | %10s %10s %7s | %10s %10s %7s | %10s\n",
+    std::printf("%-10s %-12s %19s | %10s %10s %7s | %10s %10s %7s | "
+                "%10s | %7s\n",
                 "net", "layer", "shape", "naive-fw", "gemm-fw", "spd",
-                "naive-bw", "gemm-bw", "spd", "sparse-fw");
+                "naive-bw", "gemm-bw", "spd", "sparse-fw", "t-spd");
 
     std::vector<Row> rows;
     for (const BenchLayer &bl : selectLayers(smoke)) {
@@ -303,11 +334,11 @@ main(int argc, char **argv)
                       static_cast<long long>(r.layer.stride));
         std::printf(
             "%-10s %-12s %19s | %8.1fms %8.1fms %6.1fx | %8.1fms "
-            "%8.1fms %6.1fx | %8.1fms\n",
+            "%8.1fms %6.1fx | %8.1fms | %6.2fx\n",
             r.layer.net.c_str(), r.layer.name.c_str(), shape,
             r.naive_fwd_ms, r.gemm_fwd_ms, r.fwdSpeedup(),
             r.naive_bwd_ms, r.gemm_bwd_ms, r.bwdSpeedup(),
-            r.sparse_fwd_ms);
+            r.sparse_fwd_ms, r.threadFwdSpeedup());
         rows.push_back(r);
     }
     return emitJson(rows, out, smoke) ? 0 : 1;

@@ -1,0 +1,120 @@
+#include "common/scratch_arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace procrustes {
+
+void
+ScratchArena::Buffer::zero()
+{
+    if (!storage_.empty())
+        std::memset(storage_.data(), 0,
+                    storage_.size() * sizeof(float));
+}
+
+void
+ScratchArena::Buffer::releaseToArena()
+{
+    if (arena_ != nullptr) {
+        arena_->release(std::move(storage_));
+        arena_ = nullptr;
+    }
+}
+
+ScratchArena::Buffer
+ScratchArena::acquire(size_t floats)
+{
+    std::vector<float> storage;
+    bool reused = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Best fit: the smallest cached buffer that already fits. If
+        // none fits, grow the largest one rather than allocating a
+        // brand-new block next to it.
+        size_t best = free_.size();
+        size_t largest = free_.size();
+        for (size_t i = 0; i < free_.size(); ++i) {
+            const size_t cap = free_[i].size();
+            if (cap >= floats &&
+                (best == free_.size() || cap < free_[best].size()))
+                best = i;
+            if (largest == free_.size() ||
+                cap > free_[largest].size())
+                largest = i;
+        }
+        const bool fits = best < free_.size();
+        const size_t pick = fits ? best : largest;
+        if (pick < free_.size()) {
+            storage = std::move(free_[pick]);
+            freeBytes_ -= storage.size() * sizeof(float);
+            free_.erase(free_.begin() + static_cast<ptrdiff_t>(pick));
+            reused = fits;
+        }
+        if (reused)
+            ++reuses_;
+        else
+            ++allocs_;
+    }
+    if (storage.size() < floats) {
+        // Growing: drop the old contents first so the reallocation
+        // does not copy data the contract already declares undefined.
+        storage.clear();
+        storage.resize(floats);
+    }
+    return Buffer(this, std::move(storage));
+}
+
+void
+ScratchArena::release(std::vector<float> &&storage)
+{
+    if (storage.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t bytes = storage.size() * sizeof(float);
+    if (free_.size() < kMaxFreeBuffers &&
+        freeBytes_ + bytes <= kMaxFreeBytes) {
+        freeBytes_ += bytes;
+        free_.push_back(std::move(storage));
+    }
+    // else: drop it; the vector frees on scope exit.
+}
+
+int64_t
+ScratchArena::reuseCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+}
+
+int64_t
+ScratchArena::allocCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return allocs_;
+}
+
+size_t
+ScratchArena::freeListSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+}
+
+void
+ScratchArena::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.clear();
+    freeBytes_ = 0;
+}
+
+ScratchArena &
+ScratchArena::global()
+{
+    static ScratchArena arena;
+    return arena;
+}
+
+} // namespace procrustes

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Reusable scratch-buffer arena for per-task kernel workspaces.
+ *
+ * The batch-parallel convolution executors hand every worker task its
+ * own im2col/col2im workspace so tasks never share mutable state. Those
+ * workspaces are large (C*R*S x P*Q floats) and requested once per
+ * task, thousands of times per training run; allocating them fresh
+ * each time would put malloc on the hot path and fragment the heap.
+ * The arena keeps a small free list of previously-used buffers and
+ * hands them back out on a best-fit basis: a checkout is one mutex
+ * acquisition, and steady-state training reuses the same few
+ * allocations forever.
+ *
+ * Buffers are RAII handles: destruction returns the storage to the
+ * arena. Contents on acquire are UNDEFINED — callers that need zeros
+ * must clear explicitly (most kernel uses fully overwrite first).
+ */
+
+#ifndef PROCRUSTES_COMMON_SCRATCH_ARENA_H_
+#define PROCRUSTES_COMMON_SCRATCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace procrustes {
+
+/** Mutex-guarded free list of reusable float workspaces. */
+class ScratchArena
+{
+  public:
+    /** RAII checkout of one workspace; returns storage on destruction. */
+    class Buffer
+    {
+      public:
+        Buffer() = default;
+
+        Buffer(Buffer &&other) noexcept
+            : arena_(other.arena_), storage_(std::move(other.storage_))
+        {
+            other.arena_ = nullptr;
+        }
+
+        Buffer &
+        operator=(Buffer &&other) noexcept
+        {
+            if (this != &other) {
+                releaseToArena();
+                arena_ = other.arena_;
+                storage_ = std::move(other.storage_);
+                other.arena_ = nullptr;
+            }
+            return *this;
+        }
+
+        Buffer(const Buffer &) = delete;
+        Buffer &operator=(const Buffer &) = delete;
+
+        ~Buffer() { releaseToArena(); }
+
+        /** Workspace base pointer (size() floats, contents undefined). */
+        float *data() { return storage_.data(); }
+        const float *data() const { return storage_.data(); }
+
+        /** Usable extent in floats (>= the acquire request). */
+        size_t size() const { return storage_.size(); }
+
+        /** memset the workspace to zero. */
+        void zero();
+
+      private:
+        friend class ScratchArena;
+
+        Buffer(ScratchArena *arena, std::vector<float> &&storage)
+            : arena_(arena), storage_(std::move(storage))
+        {
+        }
+
+        void releaseToArena();
+
+        ScratchArena *arena_ = nullptr;
+        std::vector<float> storage_;
+    };
+
+    ScratchArena() = default;
+
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /**
+     * Check out a workspace of at least `floats` elements. Prefers the
+     * smallest cached buffer that fits; grows a cached buffer when none
+     * fits; allocates fresh only when the free list is empty.
+     */
+    Buffer acquire(size_t floats);
+
+    /** @name Telemetry (tests and tuning). */
+    /**@{*/
+    /** Checkouts served without a fresh heap allocation. */
+    int64_t reuseCount() const;
+    /** Checkouts that allocated or grew a buffer. */
+    int64_t allocCount() const;
+    /** Buffers currently parked on the free list. */
+    size_t freeListSize() const;
+    /**@}*/
+
+    /** Drop every cached buffer (frees the memory). */
+    void clear();
+
+    /** Process-wide arena shared by the kernel executors. */
+    static ScratchArena &global();
+
+  private:
+    /** Free-list caps: beyond either, returned buffers are simply
+     *  freed. The count cap covers every worker of a wide pool holding
+     *  one forward + three backward workspaces; the byte cap bounds
+     *  how much a burst of large checkouts (e.g. dW partial groups)
+     *  can leave resident. */
+    static constexpr size_t kMaxFreeBuffers = 64;
+    static constexpr size_t kMaxFreeBytes = size_t{256} << 20;
+
+    void release(std::vector<float> &&storage);
+
+    mutable std::mutex mu_;
+    std::vector<std::vector<float>> free_;
+    size_t freeBytes_ = 0;
+    int64_t reuses_ = 0;
+    int64_t allocs_ = 0;
+};
+
+} // namespace procrustes
+
+#endif // PROCRUSTES_COMMON_SCRATCH_ARENA_H_

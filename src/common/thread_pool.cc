@@ -150,11 +150,60 @@ ThreadPool::parallelFor(int64_t begin, int64_t end,
     // an exhausted cursor through their own shared_ptr and never call it.
 }
 
+namespace {
+
+/** Slot + guard for the replaceable process-wide pool. The published
+ *  pointer makes the steady-state global() lookup a single atomic
+ *  load; the mutex only serializes creation and resetGlobal. */
+std::mutex &
+globalPoolMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::unique_ptr<ThreadPool> &
+globalPoolSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::atomic<ThreadPool *> &
+globalPoolCache()
+{
+    static std::atomic<ThreadPool *> cache{nullptr};
+    return cache;
+}
+
+} // namespace
+
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(0);
-    return pool;
+    if (ThreadPool *pool =
+            globalPoolCache().load(std::memory_order_acquire))
+        return *pool;
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    std::unique_ptr<ThreadPool> &slot = globalPoolSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(0);
+    globalPoolCache().store(slot.get(), std::memory_order_release);
+    return *slot;
+}
+
+void
+ThreadPool::resetGlobal(int num_threads)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex());
+    // Unpublish, then destroy the old pool so its workers exit before
+    // the new ones spin up (keeps peak thread count bounded during
+    // sweeps). Callers guarantee no work is in flight across a reset.
+    globalPoolCache().store(nullptr, std::memory_order_release);
+    globalPoolSlot().reset();
+    globalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+    globalPoolCache().store(globalPoolSlot().get(),
+                            std::memory_order_release);
 }
 
 } // namespace procrustes

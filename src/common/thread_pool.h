@@ -67,6 +67,15 @@ class ThreadPool
     /** Process-wide shared pool, created on first use. */
     static ThreadPool &global();
 
+    /**
+     * Replace the process-wide pool with one of `num_threads` threads
+     * (0 re-resolves PROCRUSTES_NUM_THREADS / hardware concurrency).
+     * For thread-count sweeps in tests and benchmarks: the caller must
+     * guarantee no kernel is mid-flight on the old pool, because any
+     * reference previously obtained from global() is invalidated.
+     */
+    static void resetGlobal(int num_threads);
+
   private:
     /** One in-flight parallelFor: chunk cursor plus completion count. */
     struct Job

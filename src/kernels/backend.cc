@@ -41,7 +41,15 @@ setDefaultKernelBackend(KernelBackend backend)
 const char *
 kernelBackendName(KernelBackend backend)
 {
-    return backend == KernelBackend::kNaive ? "naive" : "gemm";
+    switch (backend) {
+    case KernelBackend::kNaive:
+        return "naive";
+    case KernelBackend::kSparse:
+        return "sparse";
+    case KernelBackend::kGemm:
+        break;
+    }
+    return "gemm";
 }
 
 KernelBackend
@@ -51,7 +59,10 @@ parseKernelBackend(const std::string &name)
         return KernelBackend::kNaive;
     if (name == "gemm")
         return KernelBackend::kGemm;
-    FATAL("unknown kernel backend '" + name + "' (want naive|gemm)");
+    if (name == "sparse")
+        return KernelBackend::kSparse;
+    FATAL("unknown kernel backend '" + name +
+          "' (want naive|gemm|sparse)");
 }
 
 } // namespace kernels

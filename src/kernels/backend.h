@@ -2,13 +2,18 @@
  * @file
  * Compute-backend selector for the NN layers.
  *
- * Every layer that owns a heavy loop nest (Conv2d, Linear) carries two
- * implementations: the original direct loop nest (`kNaive`), kept as
- * the semantic reference for parity tests, and the lowered
- * im2col + tiled-GEMM path (`kGemm`) that the training benchmarks run
- * on. The process-wide default starts from the
- * PROCRUSTES_KERNEL_BACKEND environment variable ("naive" or "gemm")
- * and can be overridden per layer.
+ * Every layer that owns a heavy loop nest (Conv2d, Linear) carries the
+ * original direct loop nest (`kNaive`), kept as the semantic reference
+ * for parity tests, and the lowered im2col + tiled-GEMM path (`kGemm`)
+ * that the training benchmarks run on. Conv2d additionally dispatches
+ * to the CSB sparse executors (`kSparse`): weights are consumed in
+ * compressed form and all three training convolutions — forward,
+ * backward-data, and backward-weight — skip pruned positions, the
+ * paper's Figure 2 access pattern. Layers without a sparse
+ * implementation (Linear) treat `kSparse` as `kGemm`. The process-wide
+ * default starts from the PROCRUSTES_KERNEL_BACKEND environment
+ * variable ("naive", "gemm", or "sparse") and can be overridden per
+ * layer.
  */
 
 #ifndef PROCRUSTES_KERNELS_BACKEND_H_
@@ -24,6 +29,7 @@ enum class KernelBackend
 {
     kNaive,   //!< direct loop nest (reference semantics)
     kGemm,    //!< im2col lowering + blocked GEMM + thread pool
+    kSparse,  //!< CSB zero-skipping executors (conv layers)
 };
 
 /** Process-wide default backend newly-constructed layers pick up. */
@@ -32,7 +38,7 @@ KernelBackend defaultKernelBackend();
 /** Override the process-wide default. */
 void setDefaultKernelBackend(KernelBackend backend);
 
-/** "naive" / "gemm". */
+/** "naive" / "gemm" / "sparse". */
 const char *kernelBackendName(KernelBackend backend);
 
 /** Parse a backend name; fatal() on anything unrecognized. */

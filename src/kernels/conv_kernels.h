@@ -9,9 +9,12 @@
  *   data bw:  dX_n         = col2im(W^T[CRS, K] * dY_n[K, PQ])
  *   weight:   dW[K, CRS]  += dY_n[K, PQ] * col(X_n)^T   (summed over n)
  *
- * The batch loop is sequential and the GEMM inside parallelizes over
- * row panels, so gradient accumulation order is fixed and results are
- * deterministic under any thread count.
+ * Work is spread across the shared ThreadPool over the batch dimension
+ * when the batch is wide enough to feed every thread (each task lowers
+ * its own images with a private ScratchArena workspace), and over GEMM
+ * row panels otherwise. Per-image dW/db partials are reduced in fixed
+ * image order, so gradient accumulation order — and hence every output
+ * bit — is identical for any thread count and either decomposition.
  */
 
 #ifndef PROCRUSTES_KERNELS_CONV_KERNELS_H_

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "kernels/conv_kernels.h"
+#include "sparse/sparse_conv.h"
 
 namespace procrustes {
 namespace nn {
@@ -52,6 +54,8 @@ Conv2d::forward(const Tensor &x, bool)
         return kernels::convForwardGemm(
             x, weight_.value, cfg_.bias ? &bias_.value : nullptr, g);
     }
+    if (backend_ == kernels::KernelBackend::kSparse)
+        return forwardSparse(x);
     return forwardNaive(x);
 }
 
@@ -67,7 +71,70 @@ Conv2d::backward(const Tensor &dy)
             cachedInput_, weight_.value, dy, g, &weight_.grad,
             cfg_.bias ? &bias_.grad : nullptr);
     }
+    if (backend_ == kernels::KernelBackend::kSparse)
+        return backwardSparse(dy);
     return backwardNaive(dy);
+}
+
+Tensor
+Conv2d::forwardSparse(const Tensor &x)
+{
+    // Encode once per step: the weights cannot change between this
+    // forward and the matching backward, so the backward passes reuse
+    // the same compressed blocks (as the accelerator streams one CSB
+    // image of the weights through all three phases).
+    cachedCsb_ = sparse::CsbTensor::encodeConvFilters(weight_.value);
+    csbValid_ = true;
+    Tensor y =
+        sparse::sparseConvForward(x, cachedCsb_, cfg_.stride, cfg_.pad);
+    if (cfg_.bias) {
+        const Shape &ys = y.shape();
+        const int64_t n = ys[0];
+        const int64_t k = ys[1];
+        const int64_t pq = ys[2] * ys[3];
+        const float *pb = std::as_const(bias_.value).data();
+        float *py = y.data();
+        for (int64_t in = 0; in < n; ++in) {
+            for (int64_t ok = 0; ok < k; ++ok) {
+                const float b = pb[ok];
+                float *row = py + (in * k + ok) * pq;
+                for (int64_t j = 0; j < pq; ++j)
+                    row[j] += b;
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backwardSparse(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(csbValid_, "sparse backward before sparse forward");
+    Tensor dx = sparse::sparseConvBackwardData(
+        dy, cachedCsb_, cachedInput_.shape(), cfg_.stride, cfg_.pad);
+    // Weight-update pass through the same CSB blocks: only mask-live
+    // positions accumulate gradient, pruned weights stay frozen.
+    sparse::sparseConvBackwardWeights(cachedInput_, dy, cachedCsb_,
+                                      cfg_.stride, cfg_.pad,
+                                      &weight_.grad);
+    if (cfg_.bias) {
+        const Shape &dys = dy.shape();
+        const int64_t n = dys[0];
+        const int64_t k = dys[1];
+        const int64_t pq = dys[2] * dys[3];
+        const float *pdy = dy.data();
+        float *pdb = bias_.grad.data();
+        for (int64_t ok = 0; ok < k; ++ok) {
+            float acc = 0.0f;
+            for (int64_t in = 0; in < n; ++in) {
+                const float *row = pdy + (in * k + ok) * pq;
+                for (int64_t j = 0; j < pq; ++j)
+                    acc += row[j];
+            }
+            pdb[ok] += acc;
+        }
+    }
+    return dx;
 }
 
 Tensor

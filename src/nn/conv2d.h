@@ -8,11 +8,22 @@
  * (x * dy -> dW) — exactly the three convolutions the accelerator's
  * dataflows must serve.
  *
- * Two interchangeable compute backends implement the layer: the
+ * Three interchangeable compute backends implement the layer: the
  * original direct loop nest (KernelBackend::kNaive, the semantic
- * reference) and the im2col + tiled-GEMM path in src/kernels/
- * (KernelBackend::kGemm, the fast default). Parity between the two is
- * asserted by tests/test_kernels.cc.
+ * reference), the im2col + tiled-GEMM path in src/kernels/
+ * (KernelBackend::kGemm, the fast default), and the CSB zero-skipping
+ * executors in src/sparse/ (KernelBackend::kSparse). Under kSparse the
+ * layer re-encodes its weights into CSB form each forward and all
+ * three training convolutions consume the compressed blocks — the
+ * weight gradient accumulates only into mask-live positions, so pruned
+ * weights receive no updates (the accelerator's semantics). Liveness
+ * follows the CSB encode rule — a weight is live iff its value is
+ * non-zero at encode time — so the training pipeline prunes by zeroing
+ * weights, and a weight that lands on exactly 0.0 stays frozen unless
+ * something outside the layer rewrites it (as Dropback's
+ * accumulated-gradient tracking does for reactivation). Parity
+ * between the backends is asserted by tests/test_kernels.cc and
+ * tests/test_sparse_conv.cc.
  */
 
 #ifndef PROCRUSTES_NN_CONV2D_H_
@@ -23,6 +34,7 @@
 
 #include "kernels/backend.h"
 #include "nn/layer.h"
+#include "sparse/csb.h"
 
 namespace procrustes {
 namespace nn {
@@ -72,6 +84,8 @@ class Conv2d : public Layer
   private:
     Tensor forwardNaive(const Tensor &x);
     Tensor backwardNaive(const Tensor &dy);
+    Tensor forwardSparse(const Tensor &x);
+    Tensor backwardSparse(const Tensor &dy);
 
     Conv2dConfig cfg_;
     std::string name_;
@@ -80,6 +94,9 @@ class Conv2d : public Layer
     kernels::KernelBackend backend_;
     Tensor cachedInput_;   //!< saved for the weight-update convolution
                            //!< (a COW alias, not a deep copy)
+    sparse::CsbTensor cachedCsb_;  //!< kSparse: weights encoded at
+                                   //!< forward, reused by backward
+    bool csbValid_ = false;
 };
 
 } // namespace nn

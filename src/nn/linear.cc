@@ -42,9 +42,10 @@ Linear::forward(const Tensor &x, bool)
     PROCRUSTES_ASSERT(xs.rank() == 2 && xs[1] == inFeatures_,
                       "linear input must be [N, in_features]");
     cachedInput_ = x;
-    if (backend_ == kernels::KernelBackend::kGemm)
-        return forwardGemm(x);
-    return forwardNaive(x);
+    // Linear has no CSB executor; kSparse falls back to the gemm path.
+    if (backend_ == kernels::KernelBackend::kNaive)
+        return forwardNaive(x);
+    return forwardGemm(x);
 }
 
 Tensor
@@ -54,9 +55,9 @@ Linear::backward(const Tensor &dy)
     PROCRUSTES_ASSERT(xs.rank() == 2, "backward before forward");
     PROCRUSTES_ASSERT(dy.shape() == Shape({xs[0], outFeatures_}),
                       "dy shape mismatch in linear backward");
-    if (backend_ == kernels::KernelBackend::kGemm)
-        return backwardGemm(dy);
-    return backwardNaive(dy);
+    if (backend_ == kernels::KernelBackend::kNaive)
+        return backwardNaive(dy);
+    return backwardGemm(dy);
 }
 
 Tensor

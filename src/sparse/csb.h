@@ -43,6 +43,9 @@ class CsbTensor
         Matrix,        //!< dense space [O, I]; square blocks
     };
 
+    /** Empty placeholder; assign an encode*() result before use. */
+    CsbTensor() = default;
+
     /**
      * Encode dense conv filters [K, C, R, S]; one block per (k, c)
      * kernel, so the region size adapts to the layer's kernel size.
@@ -96,6 +99,13 @@ class CsbTensor
     /** Dense elements covered by one block's region. */
     int64_t blockElems() const { return blockElems_; }
 
+    /**
+     * True if the mask marks dense position e of block b live. This is
+     * the bit the weight-gradient pass consults: only live positions
+     * accumulate dW, pruned ones are skipped like any other zero MAC.
+     */
+    bool blockMaskBit(int64_t b, int64_t e) const { return maskBit(b, e); }
+
     /** Kind of tensor encoded. */
     Kind kind() const { return kind_; }
 
@@ -112,8 +122,6 @@ class CsbTensor
     /**@}*/
 
   private:
-    CsbTensor() = default;
-
     static CsbTensor encodeBlocks(const Tensor &w, Kind kind,
                                   int64_t block_side);
 

@@ -55,6 +55,30 @@ gatherTaps(const CsbTensor &w, int64_t b, int64_t s_ext, int64_t h,
     }
 }
 
+/**
+ * Gather the mask-live taps of block b. The weight-gradient pass reads
+ * the mask array, not the packed values: it needs the *positions* that
+ * stay live, while the value being replaced is irrelevant.
+ */
+void
+gatherMaskTaps(const CsbTensor &w, int64_t b, int64_t s_ext, int64_t h,
+               int64_t width, int64_t p_ext, int64_t q_ext,
+               int64_t stride, int64_t pad, std::vector<Tap> *taps)
+{
+    taps->clear();
+    for (int64_t e = 0; e < w.blockElems(); ++e) {
+        if (!w.blockMaskBit(b, e))
+            continue;
+        Tap t;
+        t.wt = 0.0f;   // unused: the pass produces weights, not reads them
+        t.r = e / s_ext;
+        t.s = e % s_ext;
+        validOutRange(p_ext, h, t.r, stride, pad, &t.pLo, &t.pHi);
+        validOutRange(q_ext, width, t.s, stride, pad, &t.qLo, &t.qHi);
+        taps->push_back(t);
+    }
+}
+
 } // namespace
 
 Tensor
@@ -187,9 +211,80 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
     return dx;
 }
 
-int64_t
-sparseConvMacs(const Tensor &x, const CsbTensor &w, int64_t stride,
-               int64_t pad)
+void
+sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
+                          const CsbTensor &w, int64_t stride,
+                          int64_t pad, Tensor *dw)
+{
+    PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
+                      "weights must be CSB conv filters");
+    const Shape &ws = w.denseShape();
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4 && xs[1] == ws[1],
+                      "input channels mismatch");
+    PROCRUSTES_ASSERT(dw && dw->shape() == ws,
+                      "dw shape mismatch in sparse conv backward");
+    const int64_t n = xs[0];
+    const int64_t c = ws[1];
+    const int64_t h = xs[2];
+    const int64_t width = xs[3];
+    const int64_t k = ws[0];
+    const int64_t r_ext = ws[2];
+    const int64_t s_ext = ws[3];
+    const int64_t p_ext = outExtent(h, r_ext, stride, pad);
+    const int64_t q_ext = outExtent(width, s_ext, stride, pad);
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, k, p_ext, q_ext}),
+                      "dy shape mismatch");
+
+    const float *px = x.data();
+    const float *pdy = dy.data();
+    float *pdw = dw->data();
+
+    // The weight-update pass walks the same blocks as the other two
+    // phases, but its output is the weight space itself: partitioning
+    // over output channels makes each task's dW[ok, :, :, :] slice
+    // private, and every live tap reduces its (n, p, q) space in a
+    // fixed order — deterministic for any thread count. Pruned taps
+    // are never touched, so their dW entries stay exactly as given.
+    ThreadPool::global().parallelFor(0, k, [&](int64_t ok0, int64_t ok1) {
+        std::vector<Tap> taps;
+        for (int64_t ok = ok0; ok < ok1; ++ok) {
+            for (int64_t ic = 0; ic < c; ++ic) {
+                const int64_t b = ok * c + ic;
+                if (w.blockNnz(b) == 0)
+                    continue;
+                gatherMaskTaps(w, b, s_ext, h, width, p_ext, q_ext,
+                               stride, pad, &taps);
+                for (const Tap &t : taps) {
+                    const int64_t iw0 = t.qLo * stride + t.s - pad;
+                    float acc = 0.0f;
+                    for (int64_t in = 0; in < n; ++in) {
+                        const float *dyplane =
+                            pdy + (in * k + ok) * p_ext * q_ext;
+                        const float *xplane =
+                            px + (in * c + ic) * h * width;
+                        for (int64_t p = t.pLo; p < t.pHi; ++p) {
+                            const float *xrow =
+                                xplane +
+                                (p * stride + t.r - pad) * width + iw0;
+                            const float *dyrow =
+                                dyplane + p * q_ext + t.qLo;
+                            const int64_t nq = t.qHi - t.qLo;
+                            for (int64_t q = 0; q < nq; ++q)
+                                acc += dyrow[q] * xrow[q * stride];
+                        }
+                    }
+                    pdw[((ok * c + ic) * r_ext + t.r) * s_ext + t.s] +=
+                        acc;
+                }
+            }
+        }
+    });
+}
+
+SparseConvMacCounts
+sparseConvMacCounts(const Tensor &x, const CsbTensor &w, int64_t stride,
+                    int64_t pad)
 {
     const Shape &ws = w.denseShape();
     const Shape &xs = x.shape();
@@ -199,17 +294,19 @@ sparseConvMacs(const Tensor &x, const CsbTensor &w, int64_t stride,
     const int64_t p_ext = outExtent(h, ws[2], stride, pad);
     const int64_t q_ext = outExtent(width, s_ext, stride, pad);
 
-    // Exact count: a non-zero weight at tap (r, s) fires only for the
+    // Exact count: a live weight at tap (r, s) fires only for the
     // output positions whose input projection is in bounds, so clip
     // each tap's (p, q) iteration space against the padding halo —
-    // matching what the executors above actually compute.
+    // matching what the executors above actually compute. One clipped
+    // per-tap extent serves all three phases: forward multiplies,
+    // backward-data scatters, and backward-weight reduces over the
+    // identical (n, p, q) set.
     int64_t macs = 0;
     for (int64_t b = 0; b < w.numBlocks(); ++b) {
         if (w.blockNnz(b) == 0)
             continue;
-        const auto vals = w.blockDense(b);
         for (int64_t e = 0; e < w.blockElems(); ++e) {
-            if (vals[static_cast<size_t>(e)] == 0.0f)
+            if (!w.blockMaskBit(b, e))
                 continue;
             int64_t p_lo, p_hi, q_lo, q_hi;
             validOutRange(p_ext, h, e / s_ext, stride, pad, &p_lo, &p_hi);
@@ -218,7 +315,20 @@ sparseConvMacs(const Tensor &x, const CsbTensor &w, int64_t stride,
             macs += (p_hi - p_lo) * (q_hi - q_lo);
         }
     }
-    return macs * xs[0];
+    macs *= xs[0];
+
+    SparseConvMacCounts counts;
+    counts.forward = macs;
+    counts.backwardData = macs;
+    counts.backwardWeight = macs;
+    return counts;
+}
+
+int64_t
+sparseConvMacs(const Tensor &x, const CsbTensor &w, int64_t stride,
+               int64_t pad)
+{
+    return sparseConvMacCounts(x, w, stride, pad).forward;
 }
 
 } // namespace sparse

@@ -59,9 +59,55 @@ Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                               int64_t pad);
 
 /**
+ * Weight-gradient convolution restricted to the CSB mask (the third
+ * training convolution of Figure 2, applied to the weight-update
+ * pass): dW[k, c, r, s] += sum_{n, p, q} dy[n, k, p, q] *
+ * x[n, c, p*stride + r - pad, q*stride + s - pad] for every position
+ * the mask marks live. Pruned positions accumulate nothing — their
+ * MACs are skipped exactly as the PEs skip zero weights, which is what
+ * closes the sparse-training gap for the weight-update phase.
+ *
+ * @param x forward input activations [N, C, H, W].
+ * @param dy output-side gradient [N, K, P, Q].
+ * @param w CSB-encoded filters [K, C, R, S] (supplies the mask).
+ * @param stride convolution stride.
+ * @param pad symmetric zero padding.
+ * @param dw dense weight gradient [K, C, R, S]; ACCUMULATED into at
+ *        live positions only, untouched elsewhere.
+ */
+void sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
+                               const CsbTensor &w, int64_t stride,
+                               int64_t pad, Tensor *dw);
+
+/**
+ * Exact MAC counts of the three training convolutions for this input.
+ *
+ * All three phases share one operation space: a live tap (k, c, r, s)
+ * fires once per in-bounds output position (n, p, q) whether it is
+ * multiplying activations (forward), scattering into dx
+ * (backward-data), or reducing into dW (backward-weight). The counts
+ * are therefore equal by construction — kept as separate fields so
+ * cost-model consumers can attribute them per phase.
+ */
+struct SparseConvMacCounts
+{
+    int64_t forward = 0;
+    int64_t backwardData = 0;
+    int64_t backwardWeight = 0;
+
+    /** Whole-iteration MACs (all three phases). */
+    int64_t total() const { return forward + backwardData + backwardWeight; }
+};
+
+SparseConvMacCounts sparseConvMacCounts(const Tensor &x,
+                                        const CsbTensor &w,
+                                        int64_t stride, int64_t pad);
+
+/**
  * Exact number of multiply-accumulates sparseConvForward issues for
  * this input: only in-bounds (padding-clipped) positions are counted,
- * so cost-model MAC counts match what the kernels execute.
+ * so cost-model MAC counts match what the kernels execute. Equals
+ * sparseConvMacCounts(...).forward.
  */
 int64_t sparseConvMacs(const Tensor &x, const CsbTensor &w,
                        int64_t stride, int64_t pad);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/scratch_arena.h"
 #include "common/thread_pool.h"
 #include "kernels/backend.h"
 #include "kernels/gemm.h"
@@ -512,6 +513,227 @@ TEST(SparseConvMacs, MatchesBruteForceCount)
         }
     }
     EXPECT_EQ(sparse::sparseConvMacs(x, csb, stride, pad), expected);
+}
+
+// --------------------------------------- thread-count determinism sweep
+
+/** Restores the process-wide pool to its env-resolved size on exit. */
+struct GlobalPoolGuard
+{
+    ~GlobalPoolGuard() { ThreadPool::resetGlobal(0); }
+};
+
+/** Everything one training step produces, for bitwise comparison. */
+struct StepResult
+{
+    Tensor y, dx, dw, db;          // dense gemm backend
+    Tensor sy, sdx, sdw, sdb;      // CSB sparse backend
+};
+
+/**
+ * One dense-gemm + one CSB-sparse Conv2d training step on fixed seeds
+ * at the current global pool size. Batch 5 straddles the dispatch
+ * boundary: batch-parallel at 1-3 threads, GEMM-row-panel at 8 — the
+ * sweep asserts the decompositions agree bit for bit.
+ */
+StepResult
+runTrainingStep()
+{
+    nn::Conv2dConfig cfg;
+    cfg.inChannels = 4;
+    cfg.outChannels = 10;
+    cfg.kernel = 3;
+    cfg.stride = 1;
+    cfg.pad = 1;
+    cfg.bias = true;
+
+    StepResult out;
+    Xorshift128Plus rng(71);
+    Tensor x(Shape{5, 4, 9, 9});
+    x.fillGaussian(rng, 1.0f);
+    Tensor dy(Shape{5, 10, 9, 9});
+    dy.fillGaussian(rng, 1.0f);
+
+    nn::Conv2d dense(cfg, "dense");
+    dense.setBackend(KernelBackend::kGemm);
+    Xorshift128Plus wrng(73);
+    dense.weight().value.fillGaussian(wrng, 0.5f);
+    dense.bias().value.fillGaussian(wrng, 0.5f);
+    out.y = dense.forward(x, true);
+    out.dx = dense.backward(dy);
+    out.dw = dense.weight().grad;
+    out.db = dense.bias().grad;
+
+    nn::Conv2d sparse(cfg, "sparse");
+    sparse.setBackend(KernelBackend::kSparse);
+    sparse.weight().value = dense.weight().value;
+    sparse.bias().value = dense.bias().value;
+    // Prune ~70% so the CSB executors actually skip blocks and taps.
+    Xorshift128Plus prng(79);
+    for (int64_t i = 0; i < sparse.weight().value.numel(); ++i) {
+        if (prng.nextFloat() < 0.7f)
+            sparse.weight().value.at(i) = 0.0f;
+    }
+    out.sy = sparse.forward(x, true);
+    out.sdx = sparse.backward(dy);
+    out.sdw = sparse.weight().grad;
+    out.sdb = sparse.bias().grad;
+    return out;
+}
+
+TEST(ThreadSweep, TrainingStepBitwiseIdenticalAcrossThreadCounts)
+{
+    GlobalPoolGuard guard;
+    ThreadPool::resetGlobal(1);
+    const StepResult ref = runTrainingStep();
+
+    for (int threads : {2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        ASSERT_EQ(ThreadPool::global().numThreads(), threads);
+        const StepResult got = runTrainingStep();
+        EXPECT_EQ(maxAbsDiff(got.y, ref.y), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.dx, ref.dx), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.dw, ref.dw), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.db, ref.db), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sy, ref.sy), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sdx, ref.sdx), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sdw, ref.sdw), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sdb, ref.sdb), 0.0f) << threads;
+    }
+}
+
+TEST(ThreadSweep, WideBatchGemmConvBitwiseIdentical)
+{
+    // Batch 16 stays batch-parallel at every swept size; stride 2 and
+    // asymmetric spatial extents exercise the scratch sizing.
+    GlobalPoolGuard guard;
+    nn::Conv2dConfig cfg;
+    cfg.inChannels = 3;
+    cfg.outChannels = 6;
+    cfg.kernel = 3;
+    cfg.stride = 2;
+    cfg.pad = 1;
+    cfg.bias = true;
+
+    Xorshift128Plus rng(83);
+    Tensor x(Shape{16, 3, 11, 7});
+    x.fillGaussian(rng, 1.0f);
+
+    Tensor ref_y, ref_dx, ref_dw, ref_db, dy;
+    for (int threads : {1, 2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        nn::Conv2d conv(cfg, "conv");
+        conv.setBackend(KernelBackend::kGemm);
+        Xorshift128Plus wrng(89);
+        conv.weight().value.fillGaussian(wrng, 0.5f);
+        conv.bias().value.fillGaussian(wrng, 0.5f);
+        const Tensor y = conv.forward(x, true);
+        if (threads == 1) {
+            dy = Tensor(y.shape());
+            Xorshift128Plus drng(97);
+            dy.fillGaussian(drng, 1.0f);
+        }
+        const Tensor dx = conv.backward(dy);
+        if (threads == 1) {
+            ref_y = y;
+            ref_dx = dx;
+            ref_dw = conv.weight().grad;
+            ref_db = conv.bias().grad;
+            continue;
+        }
+        EXPECT_EQ(maxAbsDiff(y, ref_y), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(dx, ref_dx), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(conv.weight().grad, ref_dw), 0.0f)
+            << threads;
+        EXPECT_EQ(maxAbsDiff(conv.bias().grad, ref_db), 0.0f) << threads;
+    }
+}
+
+// --------------------------------------------------------- scratch arena
+
+TEST(ScratchArena, ReusesReturnedBuffers)
+{
+    ScratchArena arena;
+    float *first = nullptr;
+    {
+        ScratchArena::Buffer b = arena.acquire(1024);
+        ASSERT_GE(b.size(), 1024u);
+        first = b.data();
+        b.data()[0] = 1.0f;
+        b.data()[1023] = 2.0f;
+    }
+    EXPECT_EQ(arena.freeListSize(), 1u);
+    {
+        // Same-size checkout must come back from the free list — and,
+        // with a single cached buffer, as the same allocation.
+        ScratchArena::Buffer b = arena.acquire(1024);
+        EXPECT_EQ(b.data(), first);
+    }
+    EXPECT_EQ(arena.reuseCount(), 1);
+    EXPECT_EQ(arena.allocCount(), 1);
+}
+
+TEST(ScratchArena, BestFitPrefersSmallestSufficientBuffer)
+{
+    ScratchArena arena;
+    {
+        ScratchArena::Buffer big = arena.acquire(4096);
+        ScratchArena::Buffer small = arena.acquire(64);
+    }
+    ASSERT_EQ(arena.freeListSize(), 2u);
+    ScratchArena::Buffer b = arena.acquire(32);
+    EXPECT_EQ(b.size(), 64u);   // took the small one, not the 4096
+    EXPECT_EQ(arena.freeListSize(), 1u);
+}
+
+TEST(ScratchArena, GrowsLargestWhenNothingFits)
+{
+    ScratchArena arena;
+    {
+        ScratchArena::Buffer b = arena.acquire(100);
+    }
+    ScratchArena::Buffer b = arena.acquire(500);
+    EXPECT_GE(b.size(), 500u);
+    // Growing a cached buffer counts as an allocation, not a reuse.
+    EXPECT_EQ(arena.allocCount(), 2);
+    EXPECT_EQ(arena.reuseCount(), 0);
+}
+
+TEST(ScratchArena, ZeroFillsOnRequest)
+{
+    ScratchArena arena;
+    {
+        ScratchArena::Buffer b = arena.acquire(16);
+        for (size_t i = 0; i < 16; ++i)
+            b.data()[i] = 3.0f;
+    }
+    ScratchArena::Buffer b = arena.acquire(16);
+    b.zero();
+    for (size_t i = 0; i < 16; ++i)
+        ASSERT_EQ(b.data()[i], 0.0f) << i;
+}
+
+TEST(ScratchArena, ConcurrentCheckoutsAreDistinct)
+{
+    // Every task checks out a workspace, stamps it, and verifies no
+    // other task scribbled on it — the property the batch-parallel
+    // conv relies on.
+    ScratchArena arena;
+    ThreadPool pool(4);
+    std::atomic<int> failures{0};
+    pool.parallelFor(0, 64, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            ScratchArena::Buffer buf = arena.acquire(256);
+            const float stamp = static_cast<float>(i + 1);
+            for (size_t j = 0; j < 256; ++j)
+                buf.data()[j] = stamp;
+            for (size_t j = 0; j < 256; ++j) {
+                if (buf.data()[j] != stamp)
+                    failures.fetch_add(1);
+            }
+        }
+    });
+    EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(SparseConv, DeterministicUnderThreading)

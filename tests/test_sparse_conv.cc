@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "arch/model_zoo.h"
 #include "common/rng.h"
 #include "nn/conv2d.h"
 #include "sparse/mask.h"
@@ -142,6 +147,191 @@ TEST(SparseConv, RejectsChannelMismatch)
     const CsbTensor csb = CsbTensor::encodeConvFilters(w);
     Tensor x(Shape{1, 4, 5, 5});
     EXPECT_DEATH(sparseConvForward(x, csb, 1, 1), "channels");
+}
+
+// -------------------------------------- masked-dense dW parity (zoo)
+
+/** Conv geometry as it reaches the executors (channels/kernel/stride). */
+struct ZooGeom
+{
+    int64_t c, k, kernel, stride;
+
+    bool
+    operator==(const ZooGeom &o) const
+    {
+        return c == o.c && k == o.k && kernel == o.kernel &&
+               stride == o.stride;
+    }
+};
+
+/**
+ * Every distinct conv filter geometry across the five evaluation
+ * networks. Depthwise layers appear as their per-filter view (C = 1):
+ * that is the loop nest the executors would run per group.
+ */
+std::vector<ZooGeom>
+zooConvGeometries()
+{
+    std::vector<ZooGeom> out;
+    for (const arch::NetworkModel &m : arch::allModels()) {
+        for (const arch::LayerShape &l : m.layers) {
+            if (l.type == arch::LayerType::FullyConnected)
+                continue;
+            const ZooGeom g{l.effectiveC(), l.K, l.R, l.stride};
+            if (std::find(out.begin(), out.end(), g) == out.end())
+                out.push_back(g);
+        }
+    }
+    return out;
+}
+
+TEST(SparseConvBackwardWeights, MatchesMaskedDenseOnZooLayerShapes)
+{
+    // For each zoo layer shape: the CSB weight-gradient executor must
+    // equal the dense reference dW with pruned positions zeroed. The
+    // spatial extent is shrunk (the filter geometry, not the image
+    // size, is what the kernels branch on) to keep the sweep fast.
+    const std::vector<ZooGeom> geoms = zooConvGeometries();
+    ASSERT_GT(geoms.size(), 20u);
+
+    uint64_t seed = 200;
+    for (const ZooGeom &g : geoms) {
+        const int64_t pad = g.kernel / 2;
+        const int64_t in_hw = g.kernel + 3;
+        const Tensor w = maskedFilters(g.k, g.c, g.kernel, 0.3, ++seed);
+
+        nn::Conv2dConfig cfg;
+        cfg.inChannels = g.c;
+        cfg.outChannels = g.k;
+        cfg.kernel = g.kernel;
+        cfg.stride = g.stride;
+        cfg.pad = pad;
+        cfg.bias = false;
+        nn::Conv2d dense(cfg, "ref");
+        dense.setBackend(kernels::KernelBackend::kGemm);
+        dense.weight().value = w;
+
+        Xorshift128Plus rng(seed * 7);
+        Tensor x(Shape{1, g.c, in_hw, in_hw});
+        x.fillGaussian(rng, 1.0f);
+        const Tensor y = dense.forward(x, true);
+        Tensor dy(y.shape());
+        dy.fillGaussian(rng, 1.0f);
+        dense.backward(dy);
+
+        const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+        Tensor dw(w.shape());
+        sparseConvBackwardWeights(x, dy, csb, g.stride, pad, &dw);
+
+        const float *pref = dense.weight().grad.data();
+        const float *pw = w.data();
+        const float *pdw = dw.data();
+        for (int64_t i = 0; i < w.numel(); ++i) {
+            const float expected = pw[i] == 0.0f ? 0.0f : pref[i];
+            ASSERT_NEAR(pdw[i], expected,
+                        1e-3f * (1.0f + std::fabs(expected)))
+                << "C=" << g.c << " K=" << g.k << " R=" << g.kernel
+                << " stride=" << g.stride << " i=" << i;
+        }
+    }
+}
+
+// ------------------------------------- three-phase exact MAC counting
+
+/**
+ * Brute-force MACs of one training phase by replaying its loop nest.
+ * All three phases visit the same in-bounds (n, k, c, r, s, p, q)
+ * tuples — the loops below differ only in which operand they would
+ * touch, mirroring the executors.
+ */
+int64_t
+bruteForcePhaseMacs(const Tensor &w, int64_t n, int64_t h, int64_t width,
+                    int64_t stride, int64_t pad)
+{
+    const Shape &ws = w.shape();
+    const int64_t k = ws[0], c = ws[1], r_ext = ws[2], s_ext = ws[3];
+    const int64_t p_ext = (h + 2 * pad - r_ext) / stride + 1;
+    const int64_t q_ext = (width + 2 * pad - s_ext) / stride + 1;
+    int64_t count = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ok = 0; ok < k; ++ok) {
+            for (int64_t ic = 0; ic < c; ++ic) {
+                for (int64_t r = 0; r < r_ext; ++r) {
+                    for (int64_t s = 0; s < s_ext; ++s) {
+                        if (w(ok, ic, r, s) == 0.0f)
+                            continue;
+                        for (int64_t p = 0; p < p_ext; ++p) {
+                            const int64_t ih = p * stride + r - pad;
+                            if (ih < 0 || ih >= h)
+                                continue;
+                            for (int64_t q = 0; q < q_ext; ++q) {
+                                const int64_t iw = q * stride + s - pad;
+                                if (iw < 0 || iw >= width)
+                                    continue;
+                                ++count;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return count;
+}
+
+TEST(SparseConvMacCounts, AllPhasesMatchBruteForceOnPaddedEdges)
+{
+    // Edge geometries where the padding halo clips aggressively: big
+    // pad relative to the image, stride that skips rows, kernels the
+    // size of the input.
+    struct EdgeCase
+    {
+        int64_t kernel, stride, pad, h, w;
+    };
+    const EdgeCase cases[] = {
+        {3, 1, 1, 4, 4},   // classic same-pad small image
+        {5, 2, 2, 7, 6},   // 5x5 stride 2, rectangular
+        {3, 3, 1, 8, 5},   // stride 3 skips most rows
+        {3, 1, 2, 4, 4},   // pad wider than the kernel overhang
+        {1, 1, 0, 5, 5},   // pointwise: no halo at all
+        {5, 1, 2, 5, 5},   // kernel as big as the image
+    };
+    uint64_t seed = 300;
+    for (const EdgeCase &ec : cases) {
+        const Tensor w = maskedFilters(4, 3, ec.kernel, 0.4, ++seed);
+        const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+        Tensor x(Shape{2, 3, ec.h, ec.w});
+        const int64_t expected =
+            bruteForcePhaseMacs(w, 2, ec.h, ec.w, ec.stride, ec.pad);
+
+        const SparseConvMacCounts counts =
+            sparseConvMacCounts(x, csb, ec.stride, ec.pad);
+        EXPECT_EQ(counts.forward, expected)
+            << "kernel=" << ec.kernel << " stride=" << ec.stride
+            << " pad=" << ec.pad;
+        EXPECT_EQ(counts.backwardData, expected);
+        EXPECT_EQ(counts.backwardWeight, expected);
+        EXPECT_EQ(counts.total(), 3 * expected);
+        EXPECT_EQ(sparseConvMacs(x, csb, ec.stride, ec.pad), expected);
+    }
+}
+
+TEST(SparseConvBackwardWeights, DeterministicUnderThreading)
+{
+    const Tensor w = maskedFilters(8, 4, 3, 0.3, 61);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    Xorshift128Plus rng(67);
+    Tensor x(Shape{2, 4, 9, 9});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y = sparseConvForward(x, csb, 1, 1);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+
+    Tensor dw1(w.shape());
+    Tensor dw2(w.shape());
+    sparseConvBackwardWeights(x, dy, csb, 1, 1, &dw1);
+    sparseConvBackwardWeights(x, dy, csb, 1, 1, &dw2);
+    EXPECT_EQ(maxAbsDiff(dw1, dw2), 0.0f);
 }
 
 } // namespace

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Finite-difference gradient checks for the CSB sparse executors.
+ *
+ * sparseConvBackwardData and sparseConvBackwardWeights must be the
+ * exact adjoints of sparseConvForward under a random CSB mask: for the
+ * scalar loss L = <forward(x, w), dy>, central differences of L match
+ * the analytic dx and dW. Convolution is bilinear, so the central
+ * difference of L along any single input or weight coordinate is
+ * *linear* in the perturbation — a large step (0.25) makes the
+ * truncation error exactly zero and leaves only float rounding, which
+ * is what lets these checks run at 1e-3 tolerance in fp32.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sparse/csb.h"
+#include "sparse/mask.h"
+#include "sparse/sparse_conv.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+/** Masked random filters at a given density. */
+Tensor
+maskedFilters(int64_t k, int64_t c, int64_t kernel, double density,
+              uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{k, c, kernel, kernel});
+    w.fillGaussian(rng, 0.5f);
+    SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.seed = seed + 1;
+    const SparsityMask m = makeSyntheticMask(k, c, kernel, kernel, cfg);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (!m.bits[static_cast<size_t>(i)])
+            w.at(i) = 0.0f;
+    }
+    return w;
+}
+
+/** L = <sparseConvForward(x, w), dy>, accumulated in double. */
+double
+sparseLoss(const Tensor &x, const Tensor &w, const Tensor &dy,
+           int64_t stride, int64_t pad)
+{
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    const Tensor y = sparseConvForward(x, csb, stride, pad);
+    const float *py = y.data();
+    const float *pdy = dy.data();
+    double loss = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        loss += static_cast<double>(py[i]) * pdy[i];
+    return loss;
+}
+
+struct GradCase
+{
+    int64_t stride;
+    int64_t pad;
+};
+
+class SparseGradCheck : public ::testing::TestWithParam<GradCase>
+{
+};
+
+TEST_P(SparseGradCheck, BackwardDataMatchesFiniteDifferences)
+{
+    const GradCase gc = GetParam();
+    const Tensor w = maskedFilters(6, 3, 3, 0.4, 101);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+
+    Xorshift128Plus rng(103);
+    Tensor x(Shape{2, 3, 7, 8});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y = sparseConvForward(x, csb, gc.stride, gc.pad);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+
+    const Tensor dx =
+        sparseConvBackwardData(dy, csb, x.shape(), gc.stride, gc.pad);
+
+    const float eps = 0.25f;
+    const int64_t n = x.numel();
+    const int64_t step = std::max<int64_t>(1, n / 24);
+    for (int64_t i = 0; i < n; i += step) {
+        const float orig = x.at(i);
+        x.at(i) = orig + eps;
+        const double lp = sparseLoss(x, w, dy, gc.stride, gc.pad);
+        x.at(i) = orig - eps;
+        const double lm = sparseLoss(x, w, dy, gc.stride, gc.pad);
+        x.at(i) = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(dx.at(i), numeric,
+                    1e-3 * std::max(1.0, std::fabs(numeric)))
+            << "stride=" << gc.stride << " pad=" << gc.pad << " x[" << i
+            << "]";
+    }
+}
+
+TEST_P(SparseGradCheck, BackwardWeightsMatchesFiniteDifferences)
+{
+    const GradCase gc = GetParam();
+    Tensor w = maskedFilters(5, 3, 3, 0.4, 107);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+
+    Xorshift128Plus rng(109);
+    Tensor x(Shape{2, 3, 7, 8});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y = sparseConvForward(x, csb, gc.stride, gc.pad);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+
+    Tensor dw(w.shape());
+    sparseConvBackwardWeights(x, dy, csb, gc.stride, gc.pad, &dw);
+
+    // Pruned positions must receive exactly nothing.
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (w.at(i) == 0.0f)
+            ASSERT_EQ(dw.at(i), 0.0f) << "pruned w[" << i << "]";
+    }
+
+    const float eps = 0.25f;
+    int checked = 0;
+    int64_t next = 0;
+    const int64_t stride_i = std::max<int64_t>(1, w.numel() / 48);
+    for (int64_t i = 0; i < w.numel() && checked < 24; ++i) {
+        if (w.at(i) == 0.0f || i < next)
+            continue;   // only live taps carry gradient
+        next = i + stride_i;
+        ++checked;
+        const float orig = w.at(i);
+        w.at(i) = orig + eps;
+        const double lp = sparseLoss(x, w, dy, gc.stride, gc.pad);
+        w.at(i) = orig - eps;
+        const double lm = sparseLoss(x, w, dy, gc.stride, gc.pad);
+        w.at(i) = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(dw.at(i), numeric,
+                    1e-3 * std::max(1.0, std::fabs(numeric)))
+            << "stride=" << gc.stride << " pad=" << gc.pad << " w[" << i
+            << "]";
+    }
+    EXPECT_GT(checked, 0);
+}
+
+// Stride-1/stride-2 and pad-0/pad-1 corners, per the training shapes
+// the conv layers actually run.
+INSTANTIATE_TEST_SUITE_P(Geometries, SparseGradCheck,
+                         ::testing::Values(GradCase{1, 1}, GradCase{1, 0},
+                                           GradCase{2, 1},
+                                           GradCase{2, 0}));
+
+TEST(SparseGradCheck, BackwardWeightsAccumulatesAcrossCalls)
+{
+    // Param::grad semantics: += into the given tensor, never overwrite.
+    const Tensor w = maskedFilters(3, 2, 3, 0.5, 113);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    Xorshift128Plus rng(127);
+    Tensor x(Shape{1, 2, 6, 6});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y = sparseConvForward(x, csb, 1, 1);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+
+    Tensor once(w.shape());
+    sparseConvBackwardWeights(x, dy, csb, 1, 1, &once);
+    Tensor twice(w.shape());
+    sparseConvBackwardWeights(x, dy, csb, 1, 1, &twice);
+    sparseConvBackwardWeights(x, dy, csb, 1, 1, &twice);
+    for (int64_t i = 0; i < once.numel(); ++i)
+        ASSERT_NEAR(twice.at(i), 2.0f * once.at(i),
+                    1e-4f * (1.0f + std::fabs(once.at(i))))
+            << i;
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes
