@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/model_zoo.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "kernels/backend.h"
@@ -238,10 +239,11 @@ emitJson(const std::vector<Row> &rows, const std::string &path,
     geo_tbwd = std::exp(geo_tbwd / static_cast<double>(rows.size()));
 
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 2,\n");
+    std::fprintf(f, "  \"version\": 3,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"threads\": %d,\n",
                  ThreadPool::global().numThreads());
+    bench::emitHostJson(f);
     std::fprintf(f, "  \"layers\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];

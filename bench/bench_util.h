@@ -12,11 +12,33 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "arch/cost_model.h"
+#include "common/thread_pool.h"
 
 namespace procrustes {
 namespace bench {
+
+/**
+ * Emit the shared `"host"` JSON block (with trailing comma) used by
+ * every BENCH_*.json: on a single-core host a thread speedup of 1.00
+ * means "no scaling headroom existed", not "scaling is broken", so
+ * benches record enough to tell the difference.
+ */
+inline void
+emitHostJson(FILE *f)
+{
+    // hardware_concurrency() may return 0 for "not computable" — that
+    // is unknown, not single-core, so only hw == 1 claims single_core
+    // (consumers read 0 as "core count unknown").
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::fprintf(f,
+                 "  \"host\": {\"hardware_concurrency\": %u, "
+                 "\"threads_used\": %d, \"single_core\": %s},\n",
+                 hw, ThreadPool::global().numThreads(),
+                 hw == 1 ? "true" : "false");
+}
 
 /** Print a figure/table banner. */
 inline void

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Co-simulation trajectory bench: trains the blob-image CNN with
+ * gradual magnitude pruning on the CSB sparse backend, aggregates the
+ * measured workload with a WorkloadTrace, and replays every epoch
+ * through the Procrustes cost model and the dense training baseline.
+ * Emits BENCH_cosim.json (schema documented in EXPERIMENTS.md) with
+ * host information so single-core results are interpretable.
+ *
+ * Usage: cosim_trajectory [--smoke] [--out PATH]
+ *   --smoke   2 epochs on a smaller net (CI wiring check)
+ *   --out     output JSON path (default BENCH_cosim.json)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "arch/workload_trace.h"
+#include "bench_util.h"
+#include "nn/conv2d.h"
+#include "sparse/gradual_pruning.h"
+#include "train_util.h"
+
+using namespace procrustes;
+
+namespace {
+
+/** Switch every Conv2d of a built network to the CSB sparse backend. */
+void
+useSparseBackend(nn::Network &net)
+{
+    for (size_t i = 0; i < net.size(); ++i) {
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(net.layer(i)))
+            conv->setBackend(kernels::KernelBackend::kSparse);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_cosim.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    bench::banner("Co-simulation: measured training workload -> "
+                  "accelerator trajectory",
+                  "methodology of Section VI (measured masks + "
+                  "activation sparsity into the cost model)");
+
+    nn::Network net;
+    bench::buildCnn(net, 6, /*seed=*/3, /*width=*/smoke ? 8 : 16);
+    useSparseBackend(net);
+
+    auto splits = bench::blobSplits(6);
+
+    sparse::GradualPruningConfig pcfg;
+    pcfg.targetSparsity = 4.0;
+    pcfg.lr = 0.05f;
+    pcfg.pruneInterval = 30;
+    pcfg.pruneFraction = 0.2;
+    pcfg.warmupIterations = 30;
+    sparse::GradualMagnitudePruningOptimizer opt(pcfg);
+
+    nn::TrainConfig tc;
+    tc.epochs = smoke ? 2 : 10;
+    tc.batchSize = 16;
+
+    arch::WorkloadTrace trace;
+    const auto history = trainNetwork(net, opt, splits.first,
+                                      splits.second, tc,
+                                      trace.observer());
+
+    const arch::Accelerator procrustes = arch::Accelerator::procrustes();
+    const arch::Accelerator baseline = arch::Accelerator::denseBaseline();
+
+    FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    bench::emitHostJson(f);
+    std::fprintf(f,
+                 "  \"config\": {\"epochs\": %lld, \"batch\": %lld, "
+                 "\"backend\": \"sparse\", \"target_sparsity\": %.1f},\n",
+                 static_cast<long long>(tc.epochs),
+                 static_cast<long long>(tc.batchSize),
+                 pcfg.targetSparsity);
+    std::fprintf(f, "  \"epochs\": [\n");
+
+    std::printf("epoch | val acc | w-dens | a-dens |   macs/step | "
+                "speedup | energy x\n");
+    for (size_t e = 0; e < trace.epochCount(); ++e) {
+        const arch::EpochTrace &et = trace.epoch(e);
+        const arch::NetworkCost sc = procrustes.evaluateTrace(trace, e);
+        const arch::NetworkCost dc = baseline.evaluateTrace(trace, e);
+        const double speedup = dc.totalCycles() / sc.totalCycles();
+        const double eratio = dc.totalEnergyJ() / sc.totalEnergyJ();
+        double fw = 0.0, bwd = 0.0, bww = 0.0;
+        for (const arch::LayerTrace &l : et.layers) {
+            fw += l.fwMacsPerStep();
+            bwd += l.bwDataMacsPerStep();
+            bww += l.bwWeightMacsPerStep();
+        }
+        std::fprintf(
+            f,
+            "    {\"epoch\": %zu, \"train_loss\": %.4f, "
+            "\"val_accuracy\": %.4f,\n"
+            "     \"weight_density\": %.4f, \"iact_density\": %.4f,\n"
+            "     \"measured_macs_per_step\": %.0f,\n"
+            "     \"measured_fw_macs\": %.0f, "
+            "\"measured_bw_data_macs\": %.0f, "
+            "\"measured_bw_weight_macs\": %.0f,\n"
+            "     \"procrustes_cycles\": %.6g, "
+            "\"procrustes_energy_j\": %.6g,\n"
+            "     \"dense_cycles\": %.6g, \"dense_energy_j\": %.6g,\n"
+            "     \"speedup\": %.3f, \"energy_ratio\": %.3f}%s\n",
+            e, history[e].trainLoss, history[e].valAccuracy,
+            et.meanWeightDensity(), et.meanIactDensity(),
+            et.totalMacsPerStep(), fw, bwd, bww, sc.totalCycles(),
+            sc.totalEnergyJ(), dc.totalCycles(), dc.totalEnergyJ(),
+            speedup, eratio,
+            e + 1 < trace.epochCount() ? "," : "");
+        std::printf("%5zu |   %.3f |  %.3f |  %.3f | %11.0f | %6.2fx | "
+                    "%6.2fx\n",
+                    e, history[e].valAccuracy, et.meanWeightDensity(),
+                    et.meanIactDensity(), et.totalMacsPerStep(), speedup,
+                    eratio);
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

@@ -50,6 +50,42 @@ Accelerator::evaluateLayer(const LayerShape &layer,
     return cost;
 }
 
+NetworkCost
+Accelerator::evaluateTrace(const WorkloadTrace &trace,
+                           size_t epoch_idx) const
+{
+    const EpochTrace &e = trace.epoch(epoch_idx);
+    PROCRUSTES_ASSERT(e.batchSize > 0, "trace has no batch size");
+    const auto profiles = trace.profiles(epoch_idx);
+    const NetworkModel net = trace.networkModel(epoch_idx);
+
+    NetworkCost cost;
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        const LayerTrace &l = e.layers[i];
+        // Measured executed-MAC counts stand in for the density
+        // estimate only where they describe what this machine would
+        // execute: a sparsity-exploiting accelerator on a layer whose
+        // counts came from the zero-skipping CSB executors. The dense
+        // baseline executes the full operation space, and layers that
+        // ran on a dense backend — every fc layer (Linear's kSparse
+        // remaps to gemm, see linear.h) and any conv trained on
+        // gemm/naive — report honest *dense* counts, so all of those
+        // keep the modelled estimate.
+        const bool use_measured =
+            model_.options().sparse && l.sparseExecuted;
+        cost.fw += model_.evaluatePhase(
+            net.layers[i], Phase::Forward, mapping_, profiles[i],
+            e.batchSize, use_measured ? l.fwMacsPerStep() : -1.0);
+        cost.bw += model_.evaluatePhase(
+            net.layers[i], Phase::Backward, mapping_, profiles[i],
+            e.batchSize, use_measured ? l.bwDataMacsPerStep() : -1.0);
+        cost.wu += model_.evaluatePhase(
+            net.layers[i], Phase::WeightUpdate, mapping_, profiles[i],
+            e.batchSize, use_measured ? l.bwWeightMacsPerStep() : -1.0);
+    }
+    return cost;
+}
+
 Accelerator
 Accelerator::procrustes(const ArrayConfig &cfg)
 {

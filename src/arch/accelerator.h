@@ -16,6 +16,7 @@
 
 #include "arch/cost_model.h"
 #include "arch/model_zoo.h"
+#include "arch/workload_trace.h"
 
 namespace procrustes {
 namespace arch {
@@ -61,6 +62,21 @@ class Accelerator
     NetworkCost evaluateLayer(const LayerShape &layer,
                               const LayerSparsityProfile &profile,
                               int64_t batch) const;
+
+    /**
+     * Trace-driven mode: evaluate one epoch of a measured
+     * WorkloadTrace — one training iteration at the trace's own batch
+     * size, using the run's real masks, measured activation densities
+     * (no synthetic jitter), and — when this configuration exploits
+     * sparsity AND the layer's telemetry came from the zero-skipping
+     * CSB executors (LayerTrace::sparseExecuted) — the executors'
+     * per-phase executed MAC counts in place of density estimates.
+     * The dense baseline, fc layers (Linear's measured counts are
+     * dense by construction, see linear.h), and convs traced on a
+     * dense backend keep the modelled MAC accounting.
+     */
+    NetworkCost evaluateTrace(const WorkloadTrace &trace,
+                              size_t epoch_idx) const;
 
     const CostModel &costModel() const { return model_; }
     MappingKind mapping() const { return mapping_; }

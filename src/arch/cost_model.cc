@@ -427,7 +427,7 @@ PhaseCost
 CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
                          MappingKind mapping,
                          const LayerSparsityProfile &profile,
-                         int64_t batch) const
+                         int64_t batch, double measured_macs) const
 {
     PROCRUSTES_ASSERT(batch > 0, "batch must be positive");
     PhaseCost cost;
@@ -435,7 +435,9 @@ CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
     const double dense_macs =
         static_cast<double>(batch) *
         static_cast<double>(layer.macsPerSample());
-    cost.macs = dense_macs * effectiveDensity(phase, profile);
+    cost.macs = measured_macs >= 0.0
+                    ? measured_macs
+                    : dense_macs * effectiveDensity(phase, profile);
 
     cost.computeCycles =
         computeLatency(layer, phase, mapping, profile, batch);

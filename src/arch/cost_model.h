@@ -125,11 +125,23 @@ class CostModel
         : cfg_(cfg), opts_(opts)
     {}
 
-    /** Evaluate one layer in one phase under one mapping. */
+    /**
+     * Evaluate one layer in one phase under one mapping.
+     *
+     * @param measured_macs when >= 0, the phase's executed MACs as
+     *        measured by the functional executors (the workload-trace
+     *        pipeline feeds sparseConvMacCounts-derived numbers here).
+     *        They replace the density-estimated MAC count in the MAC /
+     *        register-file energy accounting and in the reported
+     *        `macs`; wave-level latency still comes from the profile's
+     *        density structure. Negative (default) keeps the modelled
+     *        estimate.
+     */
     PhaseCost evaluatePhase(const LayerShape &layer, Phase phase,
                             MappingKind mapping,
                             const LayerSparsityProfile &profile,
-                            int64_t batch) const;
+                            int64_t batch,
+                            double measured_macs = -1.0) const;
 
     /** Per-wave latency stats (drives Figures 5 and 13). */
     std::vector<WaveStats> waveStats(const LayerShape &layer, Phase phase,

@@ -50,6 +50,30 @@ LayerSparsityProfile::LayerSparsityProfile(
 }
 
 LayerSparsityProfile
+LayerSparsityProfile::measured(const sparse::SparsityMask &mask,
+                               const MeasuredIactStats &iacts)
+{
+    // Measured densities can legitimately be tiny (a dead layer) or
+    // exactly 1.0; clamp into the range the model arithmetic accepts
+    // rather than asserting like the synthetic constructors do.
+    LayerSparsityProfile p(mask, clampd(iacts.mean, 0.01, 1.0),
+                           /*iact_sigma=*/0.0);
+    p.measured_ = true;
+    p.measSample_ = iacts.perSample;
+    p.measSampleHalf_ = iacts.perSampleHalf;
+    p.measChannel_ = iacts.perChannel;
+    for (double &d : p.measSample_)
+        d = clampd(d, 0.01, 1.0);
+    // A half may carry nearly all of its sample's non-zeros, so its
+    // ceiling is the full sample density, not 0.5.
+    for (double &d : p.measSampleHalf_)
+        d = clampd(d, 0.005, 1.0);
+    for (double &d : p.measChannel_)
+        d = clampd(d, 0.01, 1.0);
+    return p;
+}
+
+LayerSparsityProfile
 LayerSparsityProfile::uniform(double weight_density, double iact_density)
 {
     LayerSparsityProfile p;
@@ -145,6 +169,11 @@ LayerSparsityProfile::jitter(uint64_t a, uint64_t b) const
 double
 LayerSparsityProfile::iactSampleDensity(int64_t n) const
 {
+    if (measured_ && !measSample_.empty()) {
+        // Wrap: a profile measured at batch B still answers queries at
+        // other batch sizes with a representative measured sample.
+        return measSample_[static_cast<size_t>(n) % measSample_.size()];
+    }
     return clampd(iactDensity_ *
                       (1.0 + iactSigma_ *
                                  jitter(static_cast<uint64_t>(n), 1)),
@@ -154,7 +183,15 @@ LayerSparsityProfile::iactSampleDensity(int64_t n) const
 double
 LayerSparsityProfile::iactSampleHalfDensity(int64_t n, int h) const
 {
+    if (measured_ && !measSampleHalf_.empty()) {
+        const size_t idx =
+            (static_cast<size_t>(n) % (measSampleHalf_.size() / 2)) * 2 +
+            static_cast<size_t>(h);
+        return measSampleHalf_[idx];
+    }
     const double base = iactSampleDensity(n) / 2.0;
+    if (measured_)
+        return base;   // measured mean, no synthetic half-asymmetry
     return clampd(base * (1.0 + iactSigma_ *
                                     jitter(static_cast<uint64_t>(n),
                                            2 + static_cast<uint64_t>(h))),
@@ -164,6 +201,8 @@ LayerSparsityProfile::iactSampleHalfDensity(int64_t n, int h) const
 double
 LayerSparsityProfile::iactChannelDensity(int64_t c) const
 {
+    if (measured_ && !measChannel_.empty())
+        return measChannel_[static_cast<size_t>(c) % measChannel_.size()];
     return clampd(iactDensity_ *
                       (1.0 + iactSigma_ *
                                  jitter(static_cast<uint64_t>(c), 11)),
@@ -174,6 +213,8 @@ double
 LayerSparsityProfile::iactChannelHalfDensity(int64_t c, int h) const
 {
     const double base = iactChannelDensity(c) / 2.0;
+    if (measured_)
+        return base;   // no measured sub-channel split; assume even
     return clampd(base * (1.0 + iactSigma_ *
                                     jitter(static_cast<uint64_t>(c),
                                            13 + static_cast<uint64_t>(h))),
@@ -183,6 +224,8 @@ LayerSparsityProfile::iactChannelHalfDensity(int64_t c, int h) const
 double
 LayerSparsityProfile::iactSpatialDensity(int64_t p, int64_t q) const
 {
+    if (measured_)
+        return clampd(iactDensity_, 0.02, 1.0);
     return clampd(iactDensity_ *
                       (1.0 + iactSigma_ *
                                  jitter(static_cast<uint64_t>(p) * 131,

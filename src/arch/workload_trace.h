@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Measured-workload trace: the seam between the real trainer (src/nn)
+ * and the accelerator model (src/arch).
+ *
+ * The paper's headline numbers (§VI) are produced by feeding *measured*
+ * weight masks and ReLU activation densities from PyTorch training runs
+ * into the extended Timeloop model — not synthetic distributions. This
+ * class is that pipeline for our own trainer: attach observer() to
+ * nn::trainNetwork and every step's LayerStepReports (per-phase
+ * executed MACs from the zero-skipping executors, live weight masks,
+ * measured activation densities) are aggregated per epoch. Each epoch
+ * then converts into a NetworkModel + measured LayerSparsityProfiles
+ * that Accelerator::evaluateTrace consumes, yielding per-epoch latency
+ * and energy trajectories of the accelerator running the *actual*
+ * training workload.
+ */
+
+#ifndef PROCRUSTES_ARCH_WORKLOAD_TRACE_H_
+#define PROCRUSTES_ARCH_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/model_zoo.h"
+#include "arch/sparsity_profile.h"
+#include "nn/trainer.h"
+#include "sparse/mask.h"
+
+namespace procrustes {
+namespace arch {
+
+/** One trainable layer's measured facts, aggregated over one epoch. */
+struct LayerTrace
+{
+    std::string name;
+    LayerShape shape;             //!< geometry measured from the run
+    sparse::SparsityMask mask;    //!< live mask at the epoch's last step
+
+    /** Measured input-activation statistics (mean over the epoch's
+        steps; per-slot vectors averaged elementwise). */
+    MeasuredIactStats iacts;
+    double oactDensity = 1.0;     //!< mean output density
+
+    /** @name Executed MACs, summed over the epoch's steps. */
+    /**@{*/
+    /** True when the counts came from the zero-skipping CSB executors
+        (see LayerStepReport::sparseExecuted); dense-backend counts are
+        the full operation space and must not be mistaken for what a
+        sparse accelerator would execute. */
+    bool sparseExecuted = false;
+    int64_t fwMacs = 0;
+    int64_t bwDataMacs = 0;
+    int64_t bwWeightMacs = 0;
+    /**@}*/
+
+    int64_t steps = 0;            //!< steps aggregated into this row
+
+    double weightDensity() const { return mask.density(); }
+
+    /** Mean executed MACs per step for one phase. */
+    double fwMacsPerStep() const;
+    double bwDataMacsPerStep() const;
+    double bwWeightMacsPerStep() const;
+};
+
+/** One epoch of the measured workload. */
+struct EpochTrace
+{
+    int64_t epoch = 0;
+    int64_t steps = 0;
+    int64_t batchSize = 0;
+    double meanLoss = 0.0;        //!< mean per-step training loss
+    std::vector<LayerTrace> layers;
+
+    /** Whole-network executed MACs per step, all phases. */
+    double totalMacsPerStep() const;
+
+    /** MAC-weighted mean input-activation density. */
+    double meanIactDensity() const;
+
+    /** Weight non-zero fraction over all traced layers. */
+    double meanWeightDensity() const;
+};
+
+/**
+ * Aggregates nn::StepTelemetry into per-epoch measured workloads and
+ * converts them into cost-model inputs.
+ */
+class WorkloadTrace
+{
+  public:
+    /** Consume one step's telemetry (steps must arrive in order). */
+    void observe(const nn::StepTelemetry &t);
+
+    /** Observer functor bound to this trace, for trainNetwork. */
+    nn::StepObserver
+    observer()
+    {
+        return [this](const nn::StepTelemetry &t) { observe(t); };
+    }
+
+    /** Number of epochs observed so far. */
+    size_t epochCount() const { return epochs_.size(); }
+
+    /** Aggregated view of epoch i. */
+    const EpochTrace &epoch(size_t i) const;
+
+    /** Most recent epoch. */
+    const EpochTrace &lastEpoch() const;
+
+    /**
+     * The measured network as a cost-model NetworkModel: layer shapes
+     * from the run's real geometry, iactDensity from measurement.
+     */
+    NetworkModel networkModel(size_t epoch_idx) const;
+
+    /**
+     * Trace-driven profiles for epoch i: real masks + measured
+     * activation statistics, no synthetic jitter
+     * (LayerSparsityProfile::measured).
+     */
+    std::vector<LayerSparsityProfile> profiles(size_t epoch_idx) const;
+
+  private:
+    /** Running elementwise mean: acc = acc*(n-1)/n + v/n. */
+    static void accumulateMean(std::vector<double> *acc,
+                               const std::vector<double> &v,
+                               int64_t count);
+
+    std::vector<EpochTrace> epochs_;
+};
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_WORKLOAD_TRACE_H_

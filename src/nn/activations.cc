@@ -27,6 +27,18 @@ ReLU::forward(const Tensor &x, bool)
     return y;
 }
 
+bool
+ReLU::stepReport(LayerStepReport *out) const
+{
+    if (mask_.numel() == 0)
+        return false;
+    out->layerName = name_;
+    out->kind = LayerStepReport::Kind::Activation;
+    out->batch = mask_.shape().rank() > 0 ? mask_.shape()[0] : 0;
+    out->outputDensity = 1.0 - lastSparsity_;
+    return true;
+}
+
 Tensor
 ReLU::backward(const Tensor &dy)
 {

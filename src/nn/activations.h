@@ -30,6 +30,13 @@ class ReLU : public Layer
     /** Fraction of zeros produced by the most recent forward pass. */
     double lastOutputSparsity() const { return lastSparsity_; }
 
+    /**
+     * Telemetry: an Activation-kind report whose outputDensity is the
+     * measured non-zero fraction of the last forward — the activation
+     * sparsity the weight-update phase exploits (Section II-B).
+     */
+    bool stepReport(LayerStepReport *out) const override;
+
   private:
     std::string name_;
     Tensor mask_;           //!< 1 where x > 0, cached for backward

@@ -48,15 +48,22 @@ Conv2d::forward(const Tensor &x, bool)
                           xs[3] + 2 * cfg_.pad >= cfg_.kernel,
                       "kernel larger than padded input");
     cachedInput_ = x;   // COW alias: no activation copy happens here
+    lastOutH_ = outExtent(xs[2]);
+    lastOutW_ = outExtent(xs[3]);
+    backwardSeen_ = false;
+    Tensor y;
     if (backend_ == kernels::KernelBackend::kGemm) {
         const kernels::ConvGeom g = kernels::convGeomFromTensors(
             x, weight_.value.shape(), cfg_.stride, cfg_.pad);
-        return kernels::convForwardGemm(
+        y = kernels::convForwardGemm(
             x, weight_.value, cfg_.bias ? &bias_.value : nullptr, g);
+    } else if (backend_ == kernels::KernelBackend::kSparse) {
+        y = forwardSparse(x);
+    } else {
+        y = forwardNaive(x);
     }
-    if (backend_ == kernels::KernelBackend::kSparse)
-        return forwardSparse(x);
-    return forwardNaive(x);
+    cachedOutput_ = y;   // COW alias for lazy density telemetry
+    return y;
 }
 
 Tensor
@@ -64,6 +71,7 @@ Conv2d::backward(const Tensor &dy)
 {
     PROCRUSTES_ASSERT(cachedInput_.shape().rank() == 4,
                       "backward before forward");
+    backwardSeen_ = true;
     if (backend_ == kernels::KernelBackend::kGemm) {
         const kernels::ConvGeom g = kernels::convGeomFromTensors(
             cachedInput_, weight_.value.shape(), cfg_.stride, cfg_.pad);
@@ -76,6 +84,53 @@ Conv2d::backward(const Tensor &dy)
     return backwardNaive(dy);
 }
 
+bool
+Conv2d::stepReport(LayerStepReport *out) const
+{
+    if (cachedInput_.shape().rank() != 4)
+        return false;
+    const Shape &xs = cachedInput_.shape();
+    out->layerName = name_;
+    out->kind = LayerStepReport::Kind::Conv;
+    out->batch = xs[0];
+    out->K = cfg_.outChannels;
+    out->C = cfg_.inChannels;
+    out->R = cfg_.kernel;
+    out->S = cfg_.kernel;
+    out->P = lastOutH_;
+    out->Q = lastOutW_;
+    out->stride = cfg_.stride;
+
+    measureInputDensities(cachedInput_, out);
+    out->outputDensity =
+        cachedOutput_.numel() ? 1.0 - cachedOutput_.zeroFraction() : 1.0;
+
+    out->hasMask = true;
+    out->mask = sparse::SparsityMask::fromTensor(weight_.value);
+
+    out->hasMacs = backwardSeen_;
+    if (!backwardSeen_)
+        return true;
+    if (backend_ == kernels::KernelBackend::kSparse && csbValid_) {
+        // The executors' own tallies: weight-skip in fw, plus dy-zero /
+        // activation-zero skipping in the two backward phases.
+        out->sparseExecuted = true;
+        out->fwMacs = lastFwMacs_;
+        out->bwDataMacs = lastBwDataMacs_;
+        out->bwWeightMacs = lastBwWeightMacs_;
+    } else {
+        // Dense backends execute the full operation space, padding
+        // zeros included, in every phase.
+        const int64_t dense = xs[0] * cfg_.outChannels * cfg_.inChannels *
+                              cfg_.kernel * cfg_.kernel * lastOutH_ *
+                              lastOutW_;
+        out->fwMacs = dense;
+        out->bwDataMacs = dense;
+        out->bwWeightMacs = dense;
+    }
+    return true;
+}
+
 Tensor
 Conv2d::forwardSparse(const Tensor &x)
 {
@@ -85,8 +140,8 @@ Conv2d::forwardSparse(const Tensor &x)
     // image of the weights through all three phases).
     cachedCsb_ = sparse::CsbTensor::encodeConvFilters(weight_.value);
     csbValid_ = true;
-    Tensor y =
-        sparse::sparseConvForward(x, cachedCsb_, cfg_.stride, cfg_.pad);
+    Tensor y = sparse::sparseConvForward(x, cachedCsb_, cfg_.stride,
+                                         cfg_.pad, &lastFwMacs_);
     if (cfg_.bias) {
         const Shape &ys = y.shape();
         const int64_t n = ys[0];
@@ -111,12 +166,13 @@ Conv2d::backwardSparse(const Tensor &dy)
 {
     PROCRUSTES_ASSERT(csbValid_, "sparse backward before sparse forward");
     Tensor dx = sparse::sparseConvBackwardData(
-        dy, cachedCsb_, cachedInput_.shape(), cfg_.stride, cfg_.pad);
+        dy, cachedCsb_, cachedInput_.shape(), cfg_.stride, cfg_.pad,
+        &lastBwDataMacs_);
     // Weight-update pass through the same CSB blocks: only mask-live
     // positions accumulate gradient, pruned weights stay frozen.
     sparse::sparseConvBackwardWeights(cachedInput_, dy, cachedCsb_,
                                       cfg_.stride, cfg_.pad,
-                                      &weight_.grad);
+                                      &weight_.grad, &lastBwWeightMacs_);
     if (cfg_.bias) {
         const Shape &dys = dy.shape();
         const int64_t n = dys[0];

@@ -62,6 +62,15 @@ class Conv2d : public Layer
     std::vector<Param *> params() override;
     std::string name() const override { return name_; }
 
+    /**
+     * Telemetry for the last forward/backward step: geometry, live
+     * weight mask, measured input/output activation densities, and the
+     * MACs the active backend executed — the CSB executors' skip-aware
+     * counts under kSparse, the dense loop-nest counts otherwise.
+     * Valid once a forward+backward pair has run.
+     */
+    bool stepReport(LayerStepReport *out) const override;
+
     /** Weight parameter (shape [K, C, R, S]). */
     Param &weight() { return weight_; }
 
@@ -94,9 +103,19 @@ class Conv2d : public Layer
     kernels::KernelBackend backend_;
     Tensor cachedInput_;   //!< saved for the weight-update convolution
                            //!< (a COW alias, not a deep copy)
+    Tensor cachedOutput_;  //!< COW alias for lazy density telemetry
     sparse::CsbTensor cachedCsb_;  //!< kSparse: weights encoded at
                                    //!< forward, reused by backward
     bool csbValid_ = false;
+
+    /** @name Step telemetry captured by forward/backward. */
+    /**@{*/
+    int64_t lastOutH_ = 0, lastOutW_ = 0;
+    int64_t lastFwMacs_ = 0;        //!< kSparse: executed, weight-skip
+    int64_t lastBwDataMacs_ = 0;    //!< kSparse: executed, dy-skip aware
+    int64_t lastBwWeightMacs_ = 0;  //!< kSparse: executed, x-skip aware
+    bool backwardSeen_ = false;
+    /**@}*/
 };
 
 } // namespace nn

@@ -1,0 +1,69 @@
+#include "nn/layer.h"
+
+namespace procrustes {
+namespace nn {
+
+void
+measureInputDensities(const Tensor &x, LayerStepReport *out)
+{
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() >= 2, "density scan wants [N, C, ...]");
+    const int64_t n = xs[0];
+    const int64_t c = xs[1];
+    int64_t plane = 1;
+    for (int i = 2; i < xs.rank(); ++i)
+        plane *= xs[i];
+
+    // One pass over the batch: per-(sample, channel) non-zero counts,
+    // from which every aggregate the cost model consumes derives.
+    std::vector<int64_t> nnz(static_cast<size_t>(n * c), 0);
+    const float *px = x.data();
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const float *row = px + (in * c + ic) * plane;
+            int64_t cnt = 0;
+            for (int64_t i = 0; i < plane; ++i) {
+                if (row[i] != 0.0f)
+                    ++cnt;
+            }
+            nnz[static_cast<size_t>(in * c + ic)] = cnt;
+        }
+    }
+
+    const int64_t c_split = c / 2;
+    const double sample_elems = static_cast<double>(c * plane);
+    out->inputChannelDensity.assign(static_cast<size_t>(c), 0.0);
+    out->inputSampleDensity.assign(static_cast<size_t>(n), 0.0);
+    out->inputSampleHalfDensity.assign(static_cast<size_t>(n) * 2, 0.0);
+    int64_t total = 0;
+    for (int64_t in = 0; in < n; ++in) {
+        int64_t s = 0;
+        int64_t half0 = 0;
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const int64_t cnt = nnz[static_cast<size_t>(in * c + ic)];
+            s += cnt;
+            if (ic < c_split)
+                half0 += cnt;
+            out->inputChannelDensity[static_cast<size_t>(ic)] +=
+                static_cast<double>(cnt);
+        }
+        total += s;
+        out->inputSampleDensity[static_cast<size_t>(in)] =
+            static_cast<double>(s) / sample_elems;
+        // Halves are normalized to the whole sample so they sum to the
+        // sample density (mirroring LayerSparsityProfile's convention).
+        out->inputSampleHalfDensity[static_cast<size_t>(in * 2)] =
+            static_cast<double>(half0) / sample_elems;
+        out->inputSampleHalfDensity[static_cast<size_t>(in * 2 + 1)] =
+            static_cast<double>(s - half0) / sample_elems;
+    }
+    for (int64_t ic = 0; ic < c; ++ic) {
+        out->inputChannelDensity[static_cast<size_t>(ic)] /=
+            static_cast<double>(n * plane);
+    }
+    out->inputDensity = static_cast<double>(total) /
+                        static_cast<double>(x.numel());
+}
+
+} // namespace nn
+} // namespace procrustes

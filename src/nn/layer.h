@@ -13,13 +13,84 @@
 #ifndef PROCRUSTES_NN_LAYER_H_
 #define PROCRUSTES_NN_LAYER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sparse/mask.h"
 #include "tensor/tensor.h"
 
 namespace procrustes {
 namespace nn {
+
+/**
+ * What one layer measured during its most recent forward + backward
+ * step — the telemetry record the workload-trace pipeline aggregates
+ * (arch/workload_trace.h) so the accelerator cost model can run from
+ * *measured* sparsity facts instead of synthetic ones.
+ *
+ * MAC counts are what the layer's backend actually executed: the CSB
+ * sparse executors report their zero-skipped counts (weight mask in
+ * all three phases, plus dy-zeros in bw-data and activation zeros in
+ * bw-weight), while dense backends report the dense loop-nest counts.
+ * Densities are non-zero fractions measured on the live tensors of the
+ * step; the mask is the layer's live weight mask sampled at report
+ * time (i.e. after the optimizer update that closed the step).
+ */
+struct LayerStepReport
+{
+    /** Structural class of the reporting layer. */
+    enum class Kind
+    {
+        Conv,         //!< Conv2d: full 7-D operation-space geometry
+        Linear,       //!< fully connected (R = S = P = Q = 1)
+        Activation,   //!< ReLU-style; carries output density only
+        Other,        //!< stateless / untracked layers
+    };
+
+    std::string layerName;
+    Kind kind = Kind::Other;
+
+    /** @name Operation-space geometry (Conv / Linear only). */
+    /**@{*/
+    int64_t batch = 0;
+    int64_t K = 0;        //!< output channels / features
+    int64_t C = 0;        //!< input channels / features
+    int64_t R = 1, S = 1; //!< filter extents
+    int64_t P = 1, Q = 1; //!< output spatial extents
+    int64_t stride = 1;
+    /**@}*/
+
+    /** @name Executed per-phase MACs (valid when hasMacs). */
+    /**@{*/
+    bool hasMacs = false;
+    /** True when the counts came from the zero-skipping CSB executors
+        (Conv2d on KernelBackend::kSparse); false means a dense backend
+        executed the full operation space. Trace consumers must not
+        treat dense counts as what a sparse accelerator would do. */
+    bool sparseExecuted = false;
+    int64_t fwMacs = 0;
+    int64_t bwDataMacs = 0;
+    int64_t bwWeightMacs = 0;
+    /**@}*/
+
+    /** @name Live weight mask snapshot (valid when hasMask). */
+    /**@{*/
+    bool hasMask = false;
+    sparse::SparsityMask mask;
+    /**@}*/
+
+    /** @name Measured activation densities (non-zero fractions). */
+    /**@{*/
+    double inputDensity = 1.0;    //!< forward-input mean density
+    double outputDensity = 1.0;   //!< forward-output mean density
+    std::vector<double> inputChannelDensity;     //!< [C]
+    std::vector<double> inputSampleDensity;      //!< [batch]
+    /** Per-sample halves split along C, [batch * 2]; the two halves of
+        sample n sum to inputSampleDensity[n]. */
+    std::vector<double> inputSampleHalfDensity;
+    /**@}*/
+};
 
 /**
  * A trainable parameter: value plus gradient accumulated by backward().
@@ -71,7 +142,28 @@ class Layer
 
     /** Diagnostic layer name. */
     virtual std::string name() const = 0;
+
+    /**
+     * Fill `out` with telemetry about the most recent forward/backward
+     * step. Returns false (and leaves `out` untouched) for layers with
+     * nothing to report — the default. Implementations may do O(numel)
+     * work (density scans, mask extraction), so callers should only
+     * ask when an observer is actually attached.
+     */
+    virtual bool
+    stepReport(LayerStepReport *out) const
+    {
+        (void)out;
+        return false;
+    }
 };
+
+/**
+ * Shared density scan for layers whose forward input is [N, C, ...]:
+ * fills the report's mean / per-channel / per-sample / per-sample-half
+ * (split along C) input densities from the zero pattern of `x`.
+ */
+void measureInputDensities(const Tensor &x, LayerStepReport *out);
 
 } // namespace nn
 } // namespace procrustes

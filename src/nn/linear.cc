@@ -42,10 +42,14 @@ Linear::forward(const Tensor &x, bool)
     PROCRUSTES_ASSERT(xs.rank() == 2 && xs[1] == inFeatures_,
                       "linear input must be [N, in_features]");
     cachedInput_ = x;
-    // Linear has no CSB executor; kSparse falls back to the gemm path.
-    if (backend_ == kernels::KernelBackend::kNaive)
-        return forwardNaive(x);
-    return forwardGemm(x);
+    backwardSeen_ = false;
+    // Linear has no CSB executor; kSparse falls back to the gemm path
+    // (see the class note in linear.h — MAC telemetry stays dense).
+    Tensor y = backend_ == kernels::KernelBackend::kNaive
+                   ? forwardNaive(x)
+                   : forwardGemm(x);
+    cachedOutput_ = y;   // COW alias for lazy density telemetry
+    return y;
 }
 
 Tensor
@@ -55,9 +59,42 @@ Linear::backward(const Tensor &dy)
     PROCRUSTES_ASSERT(xs.rank() == 2, "backward before forward");
     PROCRUSTES_ASSERT(dy.shape() == Shape({xs[0], outFeatures_}),
                       "dy shape mismatch in linear backward");
+    backwardSeen_ = true;
     if (backend_ == kernels::KernelBackend::kNaive)
         return backwardNaive(dy);
     return backwardGemm(dy);
+}
+
+bool
+Linear::stepReport(LayerStepReport *out) const
+{
+    if (cachedInput_.shape().rank() != 2)
+        return false;
+    const int64_t n = cachedInput_.shape()[0];
+    out->layerName = name_;
+    out->kind = LayerStepReport::Kind::Linear;
+    out->batch = n;
+    out->K = outFeatures_;
+    out->C = inFeatures_;
+
+    measureInputDensities(cachedInput_, out);
+    out->outputDensity =
+        cachedOutput_.numel() ? 1.0 - cachedOutput_.zeroFraction() : 1.0;
+
+    out->hasMask = true;
+    out->mask = sparse::SparsityMask::fromTensor(weight_.value);
+
+    // Honest dense counts: every backend — including the kSparse
+    // remap — runs the full [N, out, in] contraction in all three
+    // phases.
+    out->hasMacs = backwardSeen_;
+    if (backwardSeen_) {
+        const int64_t dense = n * outFeatures_ * inFeatures_;
+        out->fwMacs = dense;
+        out->bwDataMacs = dense;
+        out->bwWeightMacs = dense;
+    }
+    return true;
 }
 
 Tensor

@@ -19,7 +19,17 @@
 namespace procrustes {
 namespace nn {
 
-/** Dense affine layer: y = x W^T + b, weights shaped [out, in]. */
+/**
+ * Dense affine layer: y = x W^T + b, weights shaped [out, in].
+ *
+ * Backend note: Linear has no CSB zero-skipping executor, so selecting
+ * KernelBackend::kSparse silently remaps to the gemm path — the layer
+ * computes densely, pruned weights still receive gradient, and its
+ * LayerStepReport reports the *dense* per-phase MAC counts (what was
+ * actually executed), never a sparsity-discounted number. Cost-model
+ * consumers that want the accelerator's would-be sparse fc cost must
+ * derive it from the report's weight mask, not from these MACs.
+ */
 class Linear : public Layer
 {
   public:
@@ -31,6 +41,14 @@ class Linear : public Layer
     Tensor backward(const Tensor &dy) override;
     std::vector<Param *> params() override;
     std::string name() const override { return name_; }
+
+    /**
+     * Telemetry for the last step. MACs are honest dense counts for
+     * every backend (see the class note: kSparse remaps to gemm, so
+     * nothing is ever skipped here); the mask and measured densities
+     * still describe the real tensors.
+     */
+    bool stepReport(LayerStepReport *out) const override;
 
     Param &weight() { return weight_; }
     Param &bias() { return bias_; }
@@ -56,6 +74,8 @@ class Linear : public Layer
     Param bias_;
     kernels::KernelBackend backend_;
     Tensor cachedInput_;   //!< COW alias of the forward input
+    Tensor cachedOutput_;  //!< COW alias for lazy density telemetry
+    bool backwardSeen_ = false;
     std::vector<float> wtScratch_;    //!< W^T staging, reused per call
     std::vector<float> dytScratch_;   //!< dy^T staging, reused per call
 };

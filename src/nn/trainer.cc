@@ -5,11 +5,13 @@ namespace nn {
 
 std::vector<EpochStats>
 trainNetwork(Network &net, Optimizer &opt, const Dataset &train,
-             const Dataset &val, const TrainConfig &cfg)
+             const Dataset &val, const TrainConfig &cfg,
+             const StepObserver &observer)
 {
     SoftmaxCrossEntropy loss;
     std::vector<EpochStats> history;
     const auto params = net.params();
+    int64_t global_step = 0;
 
     for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         const auto order =
@@ -28,10 +30,26 @@ trainNetwork(Network &net, Optimizer &opt, const Dataset &train,
 
             net.zeroGrad();
             const Tensor logits = net.forward(x, /*training=*/true);
-            loss_sum += loss.forward(logits, y);
+            const double batch_loss = loss.forward(logits, y);
+            loss_sum += batch_loss;
             acc_sum += loss.accuracy();
             net.backward(loss.backward());
             opt.step(params);
+
+            if (observer) {
+                StepTelemetry t;
+                t.epoch = epoch;
+                t.step = global_step;
+                t.batchSize = cfg.batchSize;
+                t.batchLoss = batch_loss;
+                for (size_t li = 0; li < net.size(); ++li) {
+                    LayerStepReport r;
+                    if (net.layer(li)->stepReport(&r))
+                        t.reports.push_back(std::move(r));
+                }
+                observer(t);
+            }
+            ++global_step;
             ++batches;
         }
 

@@ -7,6 +7,7 @@
 #define PROCRUSTES_NN_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "nn/data.h"
@@ -16,6 +17,29 @@
 
 namespace procrustes {
 namespace nn {
+
+/**
+ * Everything the network measured during one training step: one
+ * LayerStepReport per reporting layer, in layer order, sampled after
+ * the optimizer update that closed the step (so each report's mask is
+ * the post-update live mask). This is the unit the workload-trace
+ * pipeline (arch/workload_trace.h) aggregates.
+ */
+struct StepTelemetry
+{
+    int64_t epoch = 0;
+    int64_t step = 0;        //!< global step index across epochs
+    int64_t batchSize = 0;
+    double batchLoss = 0.0;
+    std::vector<LayerStepReport> reports;
+};
+
+/**
+ * Per-step observer invoked by trainNetwork after each optimizer step.
+ * Collecting reports costs O(activations) per step, so the trainer
+ * only gathers them when an observer is attached.
+ */
+using StepObserver = std::function<void(const StepTelemetry &)>;
 
 /** One epoch's summary statistics. */
 struct EpochStats
@@ -38,12 +62,16 @@ struct TrainConfig
 /**
  * Run SGD-style training of `net` on `train`, validating on `val` after
  * each epoch; returns one EpochStats per epoch. The loop is
- * deterministic given the seeds in the configs.
+ * deterministic given the seeds in the configs. When `observer` is
+ * non-null it receives a StepTelemetry after every optimizer step
+ * (e.g. arch::WorkloadTrace::observer() to drive the accelerator
+ * model from the measured run).
  */
 std::vector<EpochStats> trainNetwork(Network &net, Optimizer &opt,
                                      const Dataset &train,
                                      const Dataset &val,
-                                     const TrainConfig &cfg);
+                                     const TrainConfig &cfg,
+                                     const StepObserver &observer = {});
 
 /** Evaluate top-1 accuracy of `net` on a dataset (inference mode). */
 double evaluateAccuracy(Network &net, const Dataset &ds,

@@ -1,5 +1,6 @@
 #include "sparse/sparse_conv.h"
 
+#include <atomic>
 #include <vector>
 
 #include "common/logging.h"
@@ -83,7 +84,7 @@ gatherMaskTaps(const CsbTensor &w, int64_t b, int64_t s_ext, int64_t h,
 
 Tensor
 sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
-                  int64_t pad)
+                  int64_t pad, int64_t *macs)
 {
     PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
                       "weights must be CSB conv filters");
@@ -109,9 +110,13 @@ sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
     // task owns the y[:, ok, :, :] planes of its ok range, so threads
     // accumulate into private output slices in a fixed order and the
     // result is deterministic. Zero blocks and zero weights are
-    // skipped exactly as the PEs skip them.
+    // skipped exactly as the PEs skip them. The executed-MAC tally is
+    // per-tap arithmetic (clipped extents x batch), not an inner-loop
+    // counter, so it costs nothing.
+    std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, k, [&](int64_t ok0, int64_t ok1) {
         std::vector<Tap> taps;
+        int64_t local_macs = 0;
         for (int64_t ok = ok0; ok < ok1; ++ok) {
             for (int64_t ic = 0; ic < c; ++ic) {
                 const int64_t b = ok * c + ic;
@@ -119,6 +124,8 @@ sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
                     continue;   // density known from pointer subtraction
                 gatherTaps(w, b, s_ext, h, width, p_ext, q_ext, stride,
                            pad, &taps);
+                for (const Tap &t : taps)
+                    local_macs += (t.pHi - t.pLo) * (t.qHi - t.qLo) * n;
                 for (int64_t in = 0; in < n; ++in) {
                     const float *xplane = px + (in * c + ic) * h * width;
                     float *yplane =
@@ -142,14 +149,17 @@ sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
                 }
             }
         }
+        mac_total.fetch_add(local_macs, std::memory_order_relaxed);
     });
+    if (macs)
+        *macs = mac_total.load(std::memory_order_relaxed);
     return y;
 }
 
 Tensor
 sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                        const Shape &x_shape, int64_t stride,
-                       int64_t pad)
+                       int64_t pad, int64_t *macs)
 {
     PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
                       "weights must be CSB conv filters");
@@ -176,8 +186,13 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
     // 180-degree-rotated view (Figure 2b). Partitioning over input
     // channels makes each task's dx[:, ic, :, :] planes private, so
     // the scatter-accumulation needs no locks and stays deterministic.
+    // Zero dy operands are skipped (activation sparsity propagated by
+    // the ReLU / max-pool backward); the executed-MAC tally is a sum
+    // of per-chunk integers, so it is thread-count invariant too.
+    std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, c, [&](int64_t ic0, int64_t ic1) {
         std::vector<Tap> taps;
+        int64_t local_macs = 0;
         for (int64_t ic = ic0; ic < ic1; ++ic) {
             for (int64_t ok = 0; ok < k; ++ok) {
                 const int64_t b = ok * c + ic;
@@ -200,21 +215,29 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                             const float *dyrow =
                                 dyplane + p * q_ext + t.qLo;
                             const int64_t nq = t.qHi - t.qLo;
-                            for (int64_t q = 0; q < nq; ++q)
-                                dxrow[q * stride] += t.wt * dyrow[q];
+                            for (int64_t q = 0; q < nq; ++q) {
+                                const float g = dyrow[q];
+                                if (g == 0.0f)
+                                    continue;
+                                dxrow[q * stride] += t.wt * g;
+                                ++local_macs;
+                            }
                         }
                     }
                 }
             }
         }
+        mac_total.fetch_add(local_macs, std::memory_order_relaxed);
     });
+    if (macs)
+        *macs = mac_total.load(std::memory_order_relaxed);
     return dx;
 }
 
 void
 sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
                           const CsbTensor &w, int64_t stride,
-                          int64_t pad, Tensor *dw)
+                          int64_t pad, Tensor *dw, int64_t *macs)
 {
     PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
                       "weights must be CSB conv filters");
@@ -246,8 +269,12 @@ sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
     // private, and every live tap reduces its (n, p, q) space in a
     // fixed order — deterministic for any thread count. Pruned taps
     // are never touched, so their dW entries stay exactly as given.
+    // Zero activations — the ReLU zeros that make x the sparse operand
+    // of this phase — are skipped, and the executed MACs tallied.
+    std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, k, [&](int64_t ok0, int64_t ok1) {
         std::vector<Tap> taps;
+        int64_t local_macs = 0;
         for (int64_t ok = ok0; ok < ok1; ++ok) {
             for (int64_t ic = 0; ic < c; ++ic) {
                 const int64_t b = ok * c + ic;
@@ -270,8 +297,13 @@ sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
                             const float *dyrow =
                                 dyplane + p * q_ext + t.qLo;
                             const int64_t nq = t.qHi - t.qLo;
-                            for (int64_t q = 0; q < nq; ++q)
-                                acc += dyrow[q] * xrow[q * stride];
+                            for (int64_t q = 0; q < nq; ++q) {
+                                const float xv = xrow[q * stride];
+                                if (xv == 0.0f)
+                                    continue;
+                                acc += dyrow[q] * xv;
+                                ++local_macs;
+                            }
                         }
                     }
                     pdw[((ok * c + ic) * r_ext + t.r) * s_ext + t.s] +=
@@ -279,7 +311,10 @@ sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
                 }
             }
         }
+        mac_total.fetch_add(local_macs, std::memory_order_relaxed);
     });
+    if (macs)
+        *macs = mac_total.load(std::memory_order_relaxed);
 }
 
 SparseConvMacCounts
@@ -321,6 +356,73 @@ sparseConvMacCounts(const Tensor &x, const CsbTensor &w, int64_t stride,
     counts.forward = macs;
     counts.backwardData = macs;
     counts.backwardWeight = macs;
+    return counts;
+}
+
+SparseConvMacCounts
+sparseConvMacCounts(const Tensor &x, const Tensor &dy, const CsbTensor &w,
+                    int64_t stride, int64_t pad)
+{
+    const Shape &ws = w.denseShape();
+    const Shape &xs = x.shape();
+    PROCRUSTES_ASSERT(xs.rank() == 4 && xs[1] == ws[1],
+                      "input channels mismatch");
+    const int64_t n = xs[0];
+    const int64_t c = ws[1];
+    const int64_t h = xs[2];
+    const int64_t width = xs[3];
+    const int64_t k = ws[0];
+    const int64_t r_ext = ws[2];
+    const int64_t s_ext = ws[3];
+    const int64_t p_ext = outExtent(h, r_ext, stride, pad);
+    const int64_t q_ext = outExtent(width, s_ext, stride, pad);
+    PROCRUSTES_ASSERT(dy.shape() == Shape({n, k, p_ext, q_ext}),
+                      "dy shape mismatch");
+
+    SparseConvMacCounts counts;
+    const float *px = x.data();
+    const float *pdy = dy.data();
+
+    // Replay the executors' tap traversal once: every in-bounds
+    // (tap, n, p, q) visit is one forward MAC, and it additionally
+    // counts towards backward-data / backward-weight when the operand
+    // the executor would multiply there — dy respectively x — is
+    // non-zero.
+    std::vector<Tap> taps;
+    for (int64_t ok = 0; ok < k; ++ok) {
+        for (int64_t ic = 0; ic < c; ++ic) {
+            const int64_t b = ok * c + ic;
+            if (w.blockNnz(b) == 0)
+                continue;
+            gatherMaskTaps(w, b, s_ext, h, width, p_ext, q_ext, stride,
+                           pad, &taps);
+            for (const Tap &t : taps) {
+                const int64_t iw0 = t.qLo * stride + t.s - pad;
+                counts.forward +=
+                    (t.pHi - t.pLo) * (t.qHi - t.qLo) * n;
+                for (int64_t in = 0; in < n; ++in) {
+                    const float *dyplane =
+                        pdy + (in * k + ok) * p_ext * q_ext;
+                    const float *xplane =
+                        px + (in * c + ic) * h * width;
+                    for (int64_t p = t.pLo; p < t.pHi; ++p) {
+                        const float *dyrow =
+                            dyplane + p * q_ext + t.qLo;
+                        const float *xrow =
+                            xplane +
+                            (p * stride + t.r - pad) * width + iw0;
+                        const int64_t nq = t.qHi - t.qLo;
+                        for (int64_t q = 0; q < nq; ++q) {
+                            if (dyrow[q] != 0.0f)
+                                ++counts.backwardData;
+                            if (xrow[q * stride] != 0.0f)
+                                ++counts.backwardWeight;
+                        }
+                    }
+                }
+            }
+        }
+    }
     return counts;
 }
 

@@ -37,26 +37,38 @@ namespace sparse {
  * @param w CSB-encoded filters whose dense space is [K, C, R, S].
  * @param stride convolution stride.
  * @param pad symmetric zero padding.
+ * @param macs optional out: MACs executed (non-zero weight taps x
+ *        padding-clipped output positions), tallied while running so
+ *        telemetry costs no second traversal.
  * @return output activations [N, K, P, Q].
  */
 Tensor sparseConvForward(const Tensor &x, const CsbTensor &w,
-                         int64_t stride, int64_t pad);
+                         int64_t stride, int64_t pad,
+                         int64_t *macs = nullptr);
 
 /**
  * Backward-data convolution dx = dy * rot180(W) from the same CSB
  * blocks (the Figure 2b access pattern: the packed values are
  * consumed in rotated order while streaming).
  *
+ * Zero entries of dy are skipped — after a ReLU (or max-pool) backward
+ * the incoming gradient carries the activation sparsity of Section
+ * II-B, and a PE issues no MAC for a zero operand. Skipping a zero
+ * term leaves the accumulated sums bit-identical, so this executor
+ * stays the exact adjoint of sparseConvForward.
+ *
  * @param dy output-side gradient [N, K, P, Q].
  * @param w CSB-encoded filters [K, C, R, S].
  * @param x_shape shape of the forward input (for halo bounds).
  * @param stride convolution stride.
  * @param pad symmetric zero padding.
+ * @param macs optional out: MACs actually executed (live weight taps
+ *        x non-zero dy operands, padding-clipped).
  * @return input-side gradient with shape x_shape.
  */
 Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                               const Shape &x_shape, int64_t stride,
-                              int64_t pad);
+                              int64_t pad, int64_t *macs = nullptr);
 
 /**
  * Weight-gradient convolution restricted to the CSB mask (the third
@@ -67,6 +79,12 @@ Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
  * MACs are skipped exactly as the PEs skip zero weights, which is what
  * closes the sparse-training gap for the weight-update phase.
  *
+ * Zero input activations are skipped: ReLU zeros make x the sparse
+ * operand of the weight-update phase (Section II-B), and their product
+ * terms are exact zeros, so the accumulated dW is bit-identical while
+ * the executed MACs — reported through `macs` — shrink with the
+ * measured activation density.
+ *
  * @param x forward input activations [N, C, H, W].
  * @param dy output-side gradient [N, K, P, Q].
  * @param w CSB-encoded filters [K, C, R, S] (supplies the mask).
@@ -74,10 +92,13 @@ Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
  * @param pad symmetric zero padding.
  * @param dw dense weight gradient [K, C, R, S]; ACCUMULATED into at
  *        live positions only, untouched elsewhere.
+ * @param macs optional out: MACs actually executed (mask-live taps x
+ *        non-zero activation operands, padding-clipped).
  */
 void sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
                                const CsbTensor &w, int64_t stride,
-                               int64_t pad, Tensor *dw);
+                               int64_t pad, Tensor *dw,
+                               int64_t *macs = nullptr);
 
 /**
  * Exact MAC counts of the three training convolutions for this input.
@@ -100,6 +121,27 @@ struct SparseConvMacCounts
 };
 
 SparseConvMacCounts sparseConvMacCounts(const Tensor &x,
+                                        const CsbTensor &w,
+                                        int64_t stride, int64_t pad);
+
+/**
+ * Measured MAC counts honouring weight mask AND activation zeros —
+ * exactly what the zero-skipping executors execute on this input:
+ *
+ *   forward:          live weight taps x in-bounds output positions
+ *                     (the forward executor skips weights only);
+ *   backward-data:    live taps x in-bounds positions whose dy operand
+ *                     is non-zero (the dy-skip above);
+ *   backward-weight:  mask-live taps x in-bounds positions whose input
+ *                     activation operand is non-zero (the x-skip).
+ *
+ * These are the per-step numbers the workload-trace pipeline feeds
+ * into the cost model's training-iteration accounting.
+ *
+ * @param x forward input activations [N, C, H, W] (real values).
+ * @param dy output-side gradient [N, K, P, Q] (real values).
+ */
+SparseConvMacCounts sparseConvMacCounts(const Tensor &x, const Tensor &dy,
                                         const CsbTensor &w,
                                         int64_t stride, int64_t pad);
 

@@ -156,6 +156,213 @@ INSTANTIATE_TEST_SUITE_P(Geometries, SparseGradCheck,
                                            GradCase{2, 1},
                                            GradCase{2, 0}));
 
+/** Zero out a deterministic fraction of a tensor (ReLU-like zeros). */
+void
+zeroSome(Tensor *t, uint64_t seed, double zero_fraction)
+{
+    Xorshift128Plus rng(seed);
+    for (int64_t i = 0; i < t->numel(); ++i) {
+        if (static_cast<double>(rng.next() % 1000) <
+            zero_fraction * 1000.0)
+            t->at(i) = 0.0f;
+    }
+}
+
+/**
+ * Brute-force executed-MAC counts honouring BOTH the weight mask and
+ * activation zeros: the backward-data executor multiplies dy operands
+ * (skips zeros), the backward-weight executor multiplies x operands
+ * (skips zeros), and the forward executor skips weights only.
+ */
+SparseConvMacCounts
+bruteForceMeasuredMacs(const Tensor &w, const Tensor &x, const Tensor &dy,
+                       int64_t stride, int64_t pad)
+{
+    const Shape &ws = w.shape();
+    const Shape &xs = x.shape();
+    const int64_t n = xs[0];
+    const int64_t k = ws[0], c = ws[1], r_ext = ws[2], s_ext = ws[3];
+    const int64_t h = xs[2], width = xs[3];
+    const int64_t p_ext = (h + 2 * pad - r_ext) / stride + 1;
+    const int64_t q_ext = (width + 2 * pad - s_ext) / stride + 1;
+    SparseConvMacCounts counts;
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t ok = 0; ok < k; ++ok) {
+            for (int64_t ic = 0; ic < c; ++ic) {
+                for (int64_t r = 0; r < r_ext; ++r) {
+                    for (int64_t s = 0; s < s_ext; ++s) {
+                        if (w(ok, ic, r, s) == 0.0f)
+                            continue;
+                        for (int64_t p = 0; p < p_ext; ++p) {
+                            const int64_t ih = p * stride + r - pad;
+                            if (ih < 0 || ih >= h)
+                                continue;
+                            for (int64_t q = 0; q < q_ext; ++q) {
+                                const int64_t iw =
+                                    q * stride + s - pad;
+                                if (iw < 0 || iw >= width)
+                                    continue;
+                                ++counts.forward;
+                                if (dy(in, ok, p, q) != 0.0f)
+                                    ++counts.backwardData;
+                                if (x(in, ic, ih, iw) != 0.0f)
+                                    ++counts.backwardWeight;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return counts;
+}
+
+TEST_P(SparseGradCheck, ActivationSparseBackwardsStayExactAdjoints)
+{
+    // ReLU-zero activations and gradient zeros present: the skipping
+    // executors must still be the exact adjoints of the forward.
+    const GradCase gc = GetParam();
+    const Tensor w = maskedFilters(6, 3, 3, 0.4, 211);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+
+    Xorshift128Plus rng(223);
+    Tensor x(Shape{2, 3, 7, 8});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 227, 0.5);
+    const Tensor y = sparseConvForward(x, csb, gc.stride, gc.pad);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 229, 0.5);
+
+    int64_t bw_data_macs = -1;
+    const Tensor dx = sparseConvBackwardData(dy, csb, x.shape(),
+                                             gc.stride, gc.pad,
+                                             &bw_data_macs);
+    Tensor dw(w.shape());
+    int64_t bw_weight_macs = -1;
+    sparseConvBackwardWeights(x, dy, csb, gc.stride, gc.pad, &dw,
+                              &bw_weight_macs);
+
+    // dx against central differences (bilinear => exact up to fp).
+    const float eps = 0.25f;
+    const int64_t n = x.numel();
+    const int64_t step = std::max<int64_t>(1, n / 16);
+    for (int64_t i = 0; i < n; i += step) {
+        const float orig = x.at(i);
+        x.at(i) = orig + eps;
+        const double lp = sparseLoss(x, w, dy, gc.stride, gc.pad);
+        x.at(i) = orig - eps;
+        const double lm = sparseLoss(x, w, dy, gc.stride, gc.pad);
+        x.at(i) = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(dx.at(i), numeric,
+                    1e-3 * std::max(1.0, std::fabs(numeric)))
+            << "x[" << i << "]";
+    }
+
+    // dW against central differences on live taps.
+    Tensor wp = w;
+    int checked = 0;
+    const int64_t stride_i = std::max<int64_t>(1, w.numel() / 24);
+    for (int64_t i = 0; i < w.numel() && checked < 12; i += stride_i) {
+        if (wp.at(i) == 0.0f)
+            continue;
+        ++checked;
+        const float orig = wp.at(i);
+        wp.at(i) = orig + eps;
+        const double lp = sparseLoss(x, wp, dy, gc.stride, gc.pad);
+        wp.at(i) = orig - eps;
+        const double lm = sparseLoss(x, wp, dy, gc.stride, gc.pad);
+        wp.at(i) = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(dw.at(i), numeric,
+                    1e-3 * std::max(1.0, std::fabs(numeric)))
+            << "w[" << i << "]";
+    }
+    EXPECT_GT(checked, 0);
+
+    // The executors' own MAC tallies and the counting function must
+    // both match a brute force that honours mask + activation zeros.
+    const SparseConvMacCounts expected =
+        bruteForceMeasuredMacs(w, x, dy, gc.stride, gc.pad);
+    const SparseConvMacCounts counted =
+        sparseConvMacCounts(x, dy, csb, gc.stride, gc.pad);
+    EXPECT_EQ(counted.forward, expected.forward);
+    EXPECT_EQ(counted.backwardData, expected.backwardData);
+    EXPECT_EQ(counted.backwardWeight, expected.backwardWeight);
+    EXPECT_EQ(bw_data_macs, expected.backwardData);
+    EXPECT_EQ(bw_weight_macs, expected.backwardWeight);
+
+    // Zeros present => strictly fewer executed MACs than the
+    // weight-only bound; the weight-only overload is that bound.
+    const SparseConvMacCounts bound =
+        sparseConvMacCounts(x, csb, gc.stride, gc.pad);
+    EXPECT_EQ(counted.forward, bound.forward);
+    EXPECT_LT(counted.backwardData, bound.backwardData);
+    EXPECT_LT(counted.backwardWeight, bound.backwardWeight);
+}
+
+TEST(SparseGradCheck, SkippingExecutorsMatchDenseOperandResults)
+{
+    // Skipping a zero operand must not change the numbers at all:
+    // compare against a run where the zeros are replaced by an
+    // explicit dense traversal (the naive adjoint formulas).
+    const Tensor w = maskedFilters(4, 3, 3, 0.5, 251);
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    Xorshift128Plus rng(257);
+    Tensor x(Shape{2, 3, 6, 6});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 263, 0.6);
+    const Tensor y = sparseConvForward(x, csb, 1, 1);
+    Tensor dy(y.shape());
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 269, 0.6);
+
+    const Tensor dx = sparseConvBackwardData(dy, csb, x.shape(), 1, 1);
+    Tensor dw(w.shape());
+    sparseConvBackwardWeights(x, dy, csb, 1, 1, &dw);
+
+    // Reference: dense loop nests over the same operands.
+    Tensor dx_ref(x.shape());
+    Tensor dw_ref(w.shape());
+    const Shape &ws = w.shape();
+    for (int64_t in = 0; in < 2; ++in) {
+        for (int64_t ok = 0; ok < ws[0]; ++ok) {
+            for (int64_t ic = 0; ic < ws[1]; ++ic) {
+                for (int64_t r = 0; r < 3; ++r) {
+                    for (int64_t s = 0; s < 3; ++s) {
+                        const float wt = w(ok, ic, r, s);
+                        if (wt == 0.0f)
+                            continue;
+                        for (int64_t p = 0; p < 6; ++p) {
+                            const int64_t ih = p + r - 1;
+                            if (ih < 0 || ih >= 6)
+                                continue;
+                            for (int64_t q = 0; q < 6; ++q) {
+                                const int64_t iw = q + s - 1;
+                                if (iw < 0 || iw >= 6)
+                                    continue;
+                                const float g = dy(in, ok, p, q);
+                                dx_ref(in, ic, ih, iw) += wt * g;
+                                dw_ref(ok, ic, r, s) +=
+                                    g * x(in, ic, ih, iw);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (int64_t i = 0; i < dx.numel(); ++i)
+        ASSERT_NEAR(dx.at(i), dx_ref.at(i),
+                    1e-4f * (1.0f + std::fabs(dx_ref.at(i))))
+            << "dx[" << i << "]";
+    for (int64_t i = 0; i < dw.numel(); ++i)
+        ASSERT_NEAR(dw.at(i), dw_ref.at(i),
+                    1e-4f * (1.0f + std::fabs(dw_ref.at(i))))
+            << "dw[" << i << "]";
+}
+
 TEST(SparseGradCheck, BackwardWeightsAccumulatesAcrossCalls)
 {
     // Param::grad semantics: += into the given tensor, never overwrite.
