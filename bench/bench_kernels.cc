@@ -26,9 +26,11 @@
 #include "common/thread_pool.h"
 #include "kernels/backend.h"
 #include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "sparse/csb.h"
 #include "sparse/mask.h"
 #include "sparse/sparse_conv.h"
+#include "sparse/sparse_linear.h"
 
 using namespace procrustes;
 
@@ -61,6 +63,26 @@ struct Row
     /** 1-thread vs N-thread scaling (the batch-parallel win). */
     double threadFwdSpeedup() const { return gemm_fwd_ms_1t / gemm_fwd_ms; }
     double threadBwdSpeedup() const { return gemm_bwd_ms_1t / gemm_bwd_ms; }
+};
+
+/** One fc layer's timings: gemm backend vs the CSB fc executors. */
+struct FcRow
+{
+    std::string net;
+    std::string name;
+    int64_t in_f = 0, out_f = 0, batch = 0;
+    double gemm_fwd_ms = 0.0;
+    double gemm_bwd_ms = 0.0;
+    double sparse_fc_fwd_ms = 0.0;
+    double sparse_fc_bwd_data_ms = 0.0;
+    double sparse_fc_bwd_weight_ms = 0.0;
+    double sparse_density = 0.0;
+    /** Executed / dense MAC ratios per phase, from the executors'
+        measured tallies on this input (weight mask in every phase,
+        dy zeros in bw-data, activation zeros in bw-weight). */
+    double fw_mac_ratio = 0.0;
+    double bw_data_mac_ratio = 0.0;
+    double bw_weight_mac_ratio = 0.0;
 };
 
 double
@@ -208,9 +230,104 @@ benchOne(const BenchLayer &bl, int64_t batch, bool smoke)
     return row;
 }
 
+/** fc shapes worth timing (the model-zoo classifier heads). */
+std::vector<FcRow>
+selectFcLayers(bool smoke, int64_t batch)
+{
+    std::vector<FcRow> out;
+    auto push = [&out, batch](const char *net, const char *name,
+                              int64_t in_f, int64_t out_f) {
+        FcRow r;
+        r.net = net;
+        r.name = name;
+        r.in_f = in_f;
+        r.out_f = out_f;
+        r.batch = batch;
+        out.push_back(r);
+    };
+    if (smoke) {
+        push("smoke", "fc_small", 64, 32);
+        return out;
+    }
+    push("VGG-S", "fc1", 512, 512);
+    push("VGG-S", "fc2", 512, 10);
+    push("MobileNet", "fc", 1280, 1000);
+    return out;
+}
+
+FcRow
+benchOneFc(FcRow row, bool smoke)
+{
+    nn::Linear gemm(row.in_f, row.out_f, "gemm");
+    gemm.setBackend(kernels::KernelBackend::kGemm);
+    Xorshift128Plus rng(4321);
+    gemm.weight().value.fillGaussian(rng, 0.1f);
+    gemm.bias().value.fillGaussian(rng, 0.1f);
+
+    Tensor x(Shape{row.batch, row.in_f});
+    x.fillGaussian(rng, 1.0f);
+    // ReLU-like input zeros: the fc head sits behind rectified
+    // features, which is what the bw-weight executor skips.
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        if (x.at(i) < 0.0f)
+            x.at(i) = 0.0f;
+    }
+    Tensor dy(Shape{row.batch, row.out_f});
+    dy.fillGaussian(rng, 1.0f);
+
+    const double min_ms = smoke ? 1.0 : 100.0;
+    row.gemm_fwd_ms = timeMs([&] { gemm.forward(x, true); }, min_ms);
+    row.gemm_bwd_ms = timeMs([&] { gemm.backward(dy); }, min_ms);
+
+    // CSB fc executors at a paper-like 80% weight sparsity.
+    row.sparse_density = 0.2;
+    Tensor wsp = gemm.weight().value;
+    sparse::SyntheticMaskConfig mcfg;
+    mcfg.targetDensity = row.sparse_density;
+    mcfg.seed = 77;
+    const sparse::SparsityMask mask = sparse::makeSyntheticMask(
+        row.out_f, row.in_f, 1, 1, mcfg);
+    for (int64_t i = 0; i < wsp.numel(); ++i) {
+        if (!mask.bits[static_cast<size_t>(i)])
+            wsp.at(i) = 0.0f;
+    }
+    const sparse::CsbTensor csb =
+        sparse::CsbTensor::encodeMatrix(wsp, nn::Linear::kCsbBlockSide);
+    // Pre-gathered tap views, as Linear shares them across the three
+    // phases of a step: the timings below are the executor kernels
+    // proper, not the once-per-step encode/gather.
+    const sparse::FcTapViews views = sparse::gatherFcTapViews(csb);
+    Tensor dw(wsp.shape());
+    row.sparse_fc_fwd_ms = timeMs(
+        [&] { sparse::sparseLinearForward(x, csb, nullptr, &views); },
+        min_ms);
+    row.sparse_fc_bwd_data_ms = timeMs(
+        [&] {
+            sparse::sparseLinearBackwardData(dy, csb, nullptr, &views);
+        },
+        min_ms);
+    row.sparse_fc_bwd_weight_ms = timeMs(
+        [&] {
+            sparse::sparseLinearBackwardWeights(x, dy, csb, &dw,
+                                                nullptr, &views);
+        },
+        min_ms);
+
+    const sparse::SparseLinearMacCounts counts =
+        sparse::sparseLinearMacCounts(x, dy, csb);
+    const double dense =
+        static_cast<double>(row.batch) * row.out_f * row.in_f;
+    row.fw_mac_ratio = static_cast<double>(counts.forward) / dense;
+    row.bw_data_mac_ratio =
+        static_cast<double>(counts.backwardData) / dense;
+    row.bw_weight_mac_ratio =
+        static_cast<double>(counts.backwardWeight) / dense;
+    return row;
+}
+
 bool
-emitJson(const std::vector<Row> &rows, const std::string &path,
-         bool smoke)
+emitJson(const std::vector<Row> &rows, const std::vector<FcRow> &fc_rows,
+         const std::string &path, bool smoke)
 {
     if (rows.empty()) {
         std::fprintf(stderr,
@@ -239,7 +356,7 @@ emitJson(const std::vector<Row> &rows, const std::string &path,
     geo_tbwd = std::exp(geo_tbwd / static_cast<double>(rows.size()));
 
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 3,\n");
+    std::fprintf(f, "  \"version\": 4,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"threads\": %d,\n",
                  ThreadPool::global().numThreads());
@@ -273,6 +390,30 @@ emitJson(const std::vector<Row> &rows, const std::string &path,
             r.gemm_fwd_ms_1t, r.gemm_bwd_ms_1t, r.threadFwdSpeedup(),
             r.threadBwdSpeedup(), r.sparse_fwd_ms, r.sparse_density,
             i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"fc_layers\": [\n");
+    for (size_t i = 0; i < fc_rows.size(); ++i) {
+        const FcRow &r = fc_rows[i];
+        std::fprintf(
+            f,
+            "    {\"net\": \"%s\", \"layer\": \"%s\", \"N\": %lld, "
+            "\"in_features\": %lld, \"out_features\": %lld,\n"
+            "     \"gemm_fwd_ms\": %.3f, \"gemm_bwd_ms\": %.3f,\n"
+            "     \"sparse_fc_fwd_ms\": %.3f, "
+            "\"sparse_fc_bwd_data_ms\": %.3f, "
+            "\"sparse_fc_bwd_weight_ms\": %.3f,\n"
+            "     \"sparse_density\": %.2f,\n"
+            "     \"fw_mac_ratio\": %.4f, \"bw_data_mac_ratio\": %.4f, "
+            "\"bw_weight_mac_ratio\": %.4f}%s\n",
+            r.net.c_str(), r.name.c_str(),
+            static_cast<long long>(r.batch),
+            static_cast<long long>(r.in_f),
+            static_cast<long long>(r.out_f), r.gemm_fwd_ms,
+            r.gemm_bwd_ms, r.sparse_fc_fwd_ms, r.sparse_fc_bwd_data_ms,
+            r.sparse_fc_bwd_weight_ms, r.sparse_density, r.fw_mac_ratio,
+            r.bw_data_mac_ratio, r.bw_weight_mac_ratio,
+            i + 1 < fc_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"summary\": {\"geomean_fwd_speedup\": %.2f, "
@@ -343,5 +484,27 @@ main(int argc, char **argv)
             r.sparse_fwd_ms, r.threadFwdSpeedup());
         rows.push_back(r);
     }
-    return emitJson(rows, out, smoke) ? 0 : 1;
+
+    std::printf("\nfc backend bench (CSB executors at density 0.2)\n");
+    std::printf("%-10s %-10s %13s | %9s %9s | %9s %9s %9s | %17s\n",
+                "net", "layer", "shape", "gemm-fw", "gemm-bw",
+                "csb-fw", "csb-bwd", "csb-bww", "mac ratios");
+    std::vector<FcRow> fc_rows;
+    for (const FcRow &shape : selectFcLayers(smoke, smoke ? 8 : 32)) {
+        const FcRow r = benchOneFc(shape, smoke);
+        char fshape[32];
+        std::snprintf(fshape, sizeof(fshape), "%lldx%lld b%lld",
+                      static_cast<long long>(r.in_f),
+                      static_cast<long long>(r.out_f),
+                      static_cast<long long>(r.batch));
+        std::printf("%-10s %-10s %13s | %7.2fms %7.2fms | %7.2fms "
+                    "%7.2fms %7.2fms | %.2f/%.2f/%.2f\n",
+                    r.net.c_str(), r.name.c_str(), fshape,
+                    r.gemm_fwd_ms, r.gemm_bwd_ms, r.sparse_fc_fwd_ms,
+                    r.sparse_fc_bwd_data_ms, r.sparse_fc_bwd_weight_ms,
+                    r.fw_mac_ratio, r.bw_data_mac_ratio,
+                    r.bw_weight_mac_ratio);
+        fc_rows.push_back(r);
+    }
+    return emitJson(rows, fc_rows, out, smoke) ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "arch/workload_trace.h"
 #include "bench_util.h"
 #include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "sparse/gradual_pruning.h"
 #include "train_util.h"
 
@@ -28,13 +29,16 @@ using namespace procrustes;
 
 namespace {
 
-/** Switch every Conv2d of a built network to the CSB sparse backend. */
+/** Switch every Conv2d AND Linear to the CSB sparse backend, so fc
+ *  layers contribute measured (not modelled) MACs to the trajectory. */
 void
 useSparseBackend(nn::Network &net)
 {
     for (size_t i = 0; i < net.size(); ++i) {
         if (auto *conv = dynamic_cast<nn::Conv2d *>(net.layer(i)))
             conv->setBackend(kernels::KernelBackend::kSparse);
+        else if (auto *fc = dynamic_cast<nn::Linear *>(net.layer(i)))
+            fc->setBackend(kernels::KernelBackend::kSparse);
     }
 }
 
@@ -94,7 +98,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"version\": 2,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     bench::emitHostJson(f);
     std::fprintf(f,
@@ -128,15 +132,19 @@ main(int argc, char **argv)
             "     \"measured_fw_macs\": %.0f, "
             "\"measured_bw_data_macs\": %.0f, "
             "\"measured_bw_weight_macs\": %.0f,\n"
+            "     \"csb_weight_bytes\": %lld, "
+            "\"dense_weight_bytes\": %lld,\n"
             "     \"procrustes_cycles\": %.6g, "
             "\"procrustes_energy_j\": %.6g,\n"
             "     \"dense_cycles\": %.6g, \"dense_energy_j\": %.6g,\n"
             "     \"speedup\": %.3f, \"energy_ratio\": %.3f}%s\n",
             e, history[e].trainLoss, history[e].valAccuracy,
             et.meanWeightDensity(), et.meanIactDensity(),
-            et.totalMacsPerStep(), fw, bwd, bww, sc.totalCycles(),
-            sc.totalEnergyJ(), dc.totalCycles(), dc.totalEnergyJ(),
-            speedup, eratio,
+            et.totalMacsPerStep(), fw, bwd, bww,
+            static_cast<long long>(et.totalCsbWeightBytes()),
+            static_cast<long long>(et.totalDenseWeightBytes()),
+            sc.totalCycles(), sc.totalEnergyJ(), dc.totalCycles(),
+            dc.totalEnergyJ(), speedup, eratio,
             e + 1 < trace.epochCount() ? "," : "");
         std::printf("%5zu |   %.3f |  %.3f |  %.3f | %11.0f | %6.2fx | "
                     "%6.2fx\n",

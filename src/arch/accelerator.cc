@@ -65,12 +65,11 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace,
         // Measured executed-MAC counts stand in for the density
         // estimate only where they describe what this machine would
         // execute: a sparsity-exploiting accelerator on a layer whose
-        // counts came from the zero-skipping CSB executors. The dense
-        // baseline executes the full operation space, and layers that
-        // ran on a dense backend — every fc layer (Linear's kSparse
-        // remaps to gemm, see linear.h) and any conv trained on
-        // gemm/naive — report honest *dense* counts, so all of those
-        // keep the modelled estimate.
+        // counts came from the zero-skipping CSB executors (Conv2d
+        // and Linear under KernelBackend::kSparse). The dense
+        // baseline executes the full operation space, and layers
+        // trained on a dense backend report honest *dense* counts, so
+        // both keep the modelled estimate.
         const bool use_measured =
             model_.options().sparse && l.sparseExecuted;
         cost.fw += model_.evaluatePhase(

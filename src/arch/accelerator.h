@@ -71,9 +71,9 @@ class Accelerator
      * sparsity AND the layer's telemetry came from the zero-skipping
      * CSB executors (LayerTrace::sparseExecuted) — the executors'
      * per-phase executed MAC counts in place of density estimates.
-     * The dense baseline, fc layers (Linear's measured counts are
-     * dense by construction, see linear.h), and convs traced on a
-     * dense backend keep the modelled MAC accounting.
+     * Both Conv2d and Linear provide measured counts under
+     * KernelBackend::kSparse; the dense baseline and layers traced on
+     * a dense backend keep the modelled MAC accounting.
      */
     NetworkCost evaluateTrace(const WorkloadTrace &trace,
                               size_t epoch_idx) const;

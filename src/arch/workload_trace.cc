@@ -84,6 +84,24 @@ EpochTrace::meanIactDensity() const
     return weight > 0.0 ? weighted / weight : 1.0;
 }
 
+int64_t
+EpochTrace::totalCsbWeightBytes() const
+{
+    int64_t total = 0;
+    for (const LayerTrace &l : layers)
+        total += l.csbWeightBytes;
+    return total;
+}
+
+int64_t
+EpochTrace::totalDenseWeightBytes() const
+{
+    int64_t total = 0;
+    for (const LayerTrace &l : layers)
+        total += l.denseWeightBytes;
+    return total;
+}
+
 double
 EpochTrace::meanWeightDensity() const
 {
@@ -156,6 +174,12 @@ WorkloadTrace::observe(const nn::StepTelemetry &t)
                           "layer order changed mid-epoch");
         l.shape = shapeFromReport(r);
         l.mask = r.mask;   // last writer wins: epoch-final mask
+        if (r.hasWeightBytes) {
+            // Same last-writer-wins convention as the mask: the bytes
+            // describe the epoch-final compressed weight image.
+            l.csbWeightBytes = r.csbWeightBytes;
+            l.denseWeightBytes = r.denseWeightBytes;
+        }
         // A single dense-executed step poisons the epoch's counts for
         // sparse-accelerator purposes, so AND across steps.
         l.sparseExecuted =

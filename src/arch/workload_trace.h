@@ -55,6 +55,16 @@ struct LayerTrace
     int64_t bwWeightMacs = 0;
     /**@}*/
 
+    /** @name Weight storage footprint at the epoch's last step. */
+    /**@{*/
+    /** CsbTensor::totalBytes of the live weights (packed values +
+        mask bits + block pointers) — the compressed image the
+        accelerator streams; first input of the storage/traffic
+        accounting. */
+    int64_t csbWeightBytes = 0;
+    int64_t denseWeightBytes = 0;   //!< 4 bytes per dense position
+    /**@}*/
+
     int64_t steps = 0;            //!< steps aggregated into this row
 
     double weightDensity() const { return mask.density(); }
@@ -82,6 +92,12 @@ struct EpochTrace
 
     /** Weight non-zero fraction over all traced layers. */
     double meanWeightDensity() const;
+
+    /** @name Epoch-final weight storage, summed over traced layers. */
+    /**@{*/
+    int64_t totalCsbWeightBytes() const;
+    int64_t totalDenseWeightBytes() const;
+    /**@}*/
 };
 
 /**

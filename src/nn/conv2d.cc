@@ -108,6 +108,19 @@ Conv2d::stepReport(LayerStepReport *out) const
     out->hasMask = true;
     out->mask = sparse::SparsityMask::fromTensor(weight_.value);
 
+    // Compressed footprint of the live weights (the CSB image the
+    // accelerator would stream). Always encoded fresh — the report is
+    // sampled after the optimizer update that closed the step, so the
+    // bytes must describe the same post-update weights as the mask
+    // above, not the forward-time cachedCsb_ (a prune event in the
+    // update would make the two disagree). stepReport is telemetry-
+    // only O(numel) work, so the extra encode is acceptable.
+    out->hasWeightBytes = true;
+    out->csbWeightBytes =
+        sparse::CsbTensor::encodeConvFilters(weight_.value).totalBytes();
+    out->denseWeightBytes =
+        sparse::CsbTensor::denseBytes(weight_.value.shape());
+
     out->hasMacs = backwardSeen_;
     if (!backwardSeen_)
         return true;

@@ -65,13 +65,26 @@ struct LayerStepReport
     /**@{*/
     bool hasMacs = false;
     /** True when the counts came from the zero-skipping CSB executors
-        (Conv2d on KernelBackend::kSparse); false means a dense backend
-        executed the full operation space. Trace consumers must not
-        treat dense counts as what a sparse accelerator would do. */
+        (Conv2d or Linear on KernelBackend::kSparse); false means a
+        dense backend executed the full operation space. Trace
+        consumers must not treat dense counts as what a sparse
+        accelerator would do. */
     bool sparseExecuted = false;
     int64_t fwMacs = 0;
     int64_t bwDataMacs = 0;
     int64_t bwWeightMacs = 0;
+    /**@}*/
+
+    /** @name Weight storage footprint (valid when hasWeightBytes). */
+    /**@{*/
+    bool hasWeightBytes = false;
+    /** CsbTensor::totalBytes of the live weights — packed values +
+        mask bits + block pointers, the compressed image the
+        accelerator streams. Measured from the step's real CSB encode
+        under kSparse; computed from a telemetry-only encode on dense
+        backends. */
+    int64_t csbWeightBytes = 0;
+    int64_t denseWeightBytes = 0;   //!< 4 bytes per dense position
     /**@}*/
 
     /** @name Live weight mask snapshot (valid when hasMask). */

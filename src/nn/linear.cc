@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "kernels/gemm.h"
+#include "sparse/sparse_linear.h"
 
 namespace procrustes {
 namespace nn {
@@ -43,11 +44,13 @@ Linear::forward(const Tensor &x, bool)
                       "linear input must be [N, in_features]");
     cachedInput_ = x;
     backwardSeen_ = false;
-    // Linear has no CSB executor; kSparse falls back to the gemm path
-    // (see the class note in linear.h — MAC telemetry stays dense).
-    Tensor y = backend_ == kernels::KernelBackend::kNaive
-                   ? forwardNaive(x)
-                   : forwardGemm(x);
+    Tensor y;
+    if (backend_ == kernels::KernelBackend::kNaive)
+        y = forwardNaive(x);
+    else if (backend_ == kernels::KernelBackend::kSparse)
+        y = forwardSparse(x);
+    else
+        y = forwardGemm(x);
     cachedOutput_ = y;   // COW alias for lazy density telemetry
     return y;
 }
@@ -62,6 +65,8 @@ Linear::backward(const Tensor &dy)
     backwardSeen_ = true;
     if (backend_ == kernels::KernelBackend::kNaive)
         return backwardNaive(dy);
+    if (backend_ == kernels::KernelBackend::kSparse)
+        return backwardSparse(dy);
     return backwardGemm(dy);
 }
 
@@ -84,17 +89,103 @@ Linear::stepReport(LayerStepReport *out) const
     out->hasMask = true;
     out->mask = sparse::SparsityMask::fromTensor(weight_.value);
 
-    // Honest dense counts: every backend — including the kSparse
-    // remap — runs the full [N, out, in] contraction in all three
-    // phases.
+    // Compressed footprint of the live weights (the CSB image the
+    // accelerator would stream). Always encoded fresh — the report is
+    // sampled after the optimizer update that closed the step, so the
+    // bytes must describe the same post-update weights as the mask
+    // above, not the forward-time cachedCsb_ (a prune event in the
+    // update would make the two disagree). stepReport is telemetry-
+    // only O(numel) work, so the extra encode is acceptable.
+    out->hasWeightBytes = true;
+    out->csbWeightBytes =
+        sparse::CsbTensor::encodeMatrix(weight_.value, kCsbBlockSide)
+            .totalBytes();
+    out->denseWeightBytes =
+        sparse::CsbTensor::denseBytes(weight_.value.shape());
+
     out->hasMacs = backwardSeen_;
-    if (backwardSeen_) {
+    if (!backwardSeen_)
+        return true;
+    if (backend_ == kernels::KernelBackend::kSparse && csbValid_) {
+        // The fc executors' own tallies: weight-skip in fw, plus
+        // dy-zero / activation-zero skipping in the backward phases.
+        out->sparseExecuted = true;
+        out->fwMacs = lastFwMacs_;
+        out->bwDataMacs = lastBwDataMacs_;
+        out->bwWeightMacs = lastBwWeightMacs_;
+    } else {
+        // Dense backends run the full [N, out, in] contraction in all
+        // three phases.
         const int64_t dense = n * outFeatures_ * inFeatures_;
         out->fwMacs = dense;
         out->bwDataMacs = dense;
         out->bwWeightMacs = dense;
     }
     return true;
+}
+
+Tensor
+Linear::forwardSparse(const Tensor &x)
+{
+    // Encode once per step: the weights cannot change between this
+    // forward and the matching backward, so the backward passes reuse
+    // the same compressed blocks (as the accelerator streams one CSB
+    // image of the weights through all three phases). Both traversal
+    // views are gathered here too, so the three executor calls of the
+    // step share one O(O*I) block walk.
+    cachedCsb_ =
+        sparse::CsbTensor::encodeMatrix(weight_.value, kCsbBlockSide);
+    cachedTaps_ = sparse::gatherFcTapViews(cachedCsb_);
+    csbValid_ = true;
+    Tensor y = sparse::sparseLinearForward(x, cachedCsb_, &lastFwMacs_,
+                                           &cachedTaps_);
+    if (hasBias_)
+        addBias(&y);
+    return y;
+}
+
+Tensor
+Linear::backwardSparse(const Tensor &dy)
+{
+    PROCRUSTES_ASSERT(csbValid_, "sparse backward before sparse forward");
+    Tensor dx = sparse::sparseLinearBackwardData(
+        dy, cachedCsb_, &lastBwDataMacs_, &cachedTaps_);
+    // Weight-update pass through the same CSB blocks: only mask-live
+    // positions accumulate gradient, pruned weights stay frozen.
+    sparse::sparseLinearBackwardWeights(cachedInput_, dy, cachedCsb_,
+                                        &weight_.grad,
+                                        &lastBwWeightMacs_,
+                                        &cachedTaps_);
+    if (hasBias_)
+        accumulateBiasGrad(dy);
+    return dx;
+}
+
+void
+Linear::addBias(Tensor *y) const
+{
+    const int64_t n = y->shape()[0];
+    const float *pb = std::as_const(bias_.value).data();
+    float *py = y->data();
+    for (int64_t in = 0; in < n; ++in) {
+        float *row = py + in * outFeatures_;
+        for (int64_t o = 0; o < outFeatures_; ++o)
+            row[o] += pb[o];
+    }
+}
+
+void
+Linear::accumulateBiasGrad(const Tensor &dy)
+{
+    const int64_t n = dy.shape()[0];
+    const float *pdy = dy.data();
+    float *pdb = bias_.grad.data();
+    for (int64_t o = 0; o < outFeatures_; ++o) {
+        float acc = 0.0f;
+        for (int64_t in = 0; in < n; ++in)
+            acc += pdy[in * outFeatures_ + o];
+        pdb[o] += acc;
+    }
 }
 
 Tensor
@@ -112,15 +203,8 @@ Linear::forwardGemm(const Tensor &x)
     kernels::gemm(n, outFeatures_, inFeatures_, x.data(),
                   wtScratch_.data(), y.data(), /*accumulate=*/false);
 
-    if (hasBias_) {
-        const float *pb = std::as_const(bias_.value).data();
-        float *py = y.data();
-        for (int64_t in = 0; in < n; ++in) {
-            float *row = py + in * outFeatures_;
-            for (int64_t o = 0; o < outFeatures_; ++o)
-                row[o] += pb[o];
-        }
-    }
+    if (hasBias_)
+        addBias(&y);
     return y;
 }
 
@@ -143,16 +227,8 @@ Linear::backwardGemm(const Tensor &dy)
                   std::as_const(cachedInput_).data(),
                   weight_.grad.data(), /*accumulate=*/true);
 
-    if (hasBias_) {
-        const float *pdy = dy.data();
-        float *pdb = bias_.grad.data();
-        for (int64_t o = 0; o < outFeatures_; ++o) {
-            float acc = 0.0f;
-            for (int64_t in = 0; in < n; ++in)
-                acc += pdy[in * outFeatures_ + o];
-            pdb[o] += acc;
-        }
-    }
+    if (hasBias_)
+        accumulateBiasGrad(dy);
     return dx;
 }
 

@@ -15,6 +15,8 @@
 
 #include "kernels/backend.h"
 #include "nn/layer.h"
+#include "sparse/csb.h"
+#include "sparse/sparse_linear.h"
 
 namespace procrustes {
 namespace nn {
@@ -22,17 +24,26 @@ namespace nn {
 /**
  * Dense affine layer: y = x W^T + b, weights shaped [out, in].
  *
- * Backend note: Linear has no CSB zero-skipping executor, so selecting
- * KernelBackend::kSparse silently remaps to the gemm path — the layer
- * computes densely, pruned weights still receive gradient, and its
- * LayerStepReport reports the *dense* per-phase MAC counts (what was
- * actually executed), never a sparsity-discounted number. Cost-model
- * consumers that want the accelerator's would-be sparse fc cost must
- * derive it from the report's weight mask, not from these MACs.
+ * Three interchangeable compute backends implement the layer: the
+ * direct loop nest (KernelBackend::kNaive, the semantic reference),
+ * the transposed-GEMM path (KernelBackend::kGemm, the fast default),
+ * and the CSB zero-skipping fc executors in src/sparse/sparse_linear.h
+ * (KernelBackend::kSparse). Under kSparse the layer encodes its weight
+ * matrix into square CSB blocks once per step (at forward) and all
+ * three training passes consume the compressed blocks: the forward
+ * walks live weights only, the backward-data pass traverses the same
+ * blocks transposed while fetching (no W^T re-encode), and the
+ * weight-gradient pass accumulates only into mask-live positions — so
+ * pruned fc weights receive no updates, the accelerator's semantics.
+ * Liveness follows the CSB encode rule (a weight is live iff non-zero
+ * at encode time), matching Conv2d's kSparse behaviour.
  */
 class Linear : public Layer
 {
   public:
+    /** Square CSB block side used when encoding fc weights (kSparse). */
+    static constexpr int64_t kCsbBlockSide = 8;
+
     /** Construct with given fan-in/fan-out; init happens externally. */
     Linear(int64_t in_features, int64_t out_features,
            const std::string &layer_name, bool with_bias = true);
@@ -43,10 +54,12 @@ class Linear : public Layer
     std::string name() const override { return name_; }
 
     /**
-     * Telemetry for the last step. MACs are honest dense counts for
-     * every backend (see the class note: kSparse remaps to gemm, so
-     * nothing is ever skipped here); the mask and measured densities
-     * still describe the real tensors.
+     * Telemetry for the last step. Under kSparse the MAC counts are
+     * the fc executors' own measured tallies (weight mask skipped in
+     * all three phases, zero dy operands skipped in backward-data,
+     * zero input activations skipped in backward-weight) and
+     * sparseExecuted is set; dense backends report the full
+     * [N, out, in] contraction per phase.
      */
     bool stepReport(LayerStepReport *out) const override;
 
@@ -65,6 +78,14 @@ class Linear : public Layer
     Tensor backwardNaive(const Tensor &dy);
     Tensor forwardGemm(const Tensor &x);
     Tensor backwardGemm(const Tensor &dy);
+    Tensor forwardSparse(const Tensor &x);
+    Tensor backwardSparse(const Tensor &dy);
+
+    /** Add the bias row to every sample (shared by gemm / sparse). */
+    void addBias(Tensor *y) const;
+
+    /** Accumulate db += column sums of dy (shared by gemm / sparse). */
+    void accumulateBiasGrad(const Tensor &dy);
 
     int64_t inFeatures_;
     int64_t outFeatures_;
@@ -75,9 +96,21 @@ class Linear : public Layer
     kernels::KernelBackend backend_;
     Tensor cachedInput_;   //!< COW alias of the forward input
     Tensor cachedOutput_;  //!< COW alias for lazy density telemetry
+    sparse::CsbTensor cachedCsb_;  //!< kSparse: weights encoded at
+                                   //!< forward, reused by backward
+    sparse::FcTapViews cachedTaps_;   //!< both traversal views of
+                                      //!< cachedCsb_, gathered once
+    bool csbValid_ = false;
     bool backwardSeen_ = false;
     std::vector<float> wtScratch_;    //!< W^T staging, reused per call
     std::vector<float> dytScratch_;   //!< dy^T staging, reused per call
+
+    /** @name Step telemetry captured by forward/backward (kSparse). */
+    /**@{*/
+    int64_t lastFwMacs_ = 0;        //!< executed, weight-skip
+    int64_t lastBwDataMacs_ = 0;    //!< executed, dy-skip aware
+    int64_t lastBwWeightMacs_ = 0;  //!< executed, x-skip aware
+    /**@}*/
 };
 
 } // namespace nn

@@ -109,6 +109,12 @@ class CsbTensor
     /** Kind of tensor encoded. */
     Kind kind() const { return kind_; }
 
+    /** Matrix kind: side length of the square blocks. */
+    int64_t blockSide() const { return blockSide_; }
+
+    /** Matrix kind: number of blocks along the I dimension. */
+    int64_t blocksPerRow() const { return blocksPerRow_; }
+
     /** Dense shape this tensor decodes to. */
     const Shape &denseShape() const { return denseShape_; }
 

@@ -1,0 +1,407 @@
+#include "sparse/sparse_linear.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/scratch_arena.h"
+#include "common/thread_pool.h"
+
+namespace procrustes {
+namespace sparse {
+
+namespace {
+
+/**
+ * Gather row- and/or column-grouped taps from the CSB blocks —
+ * block-major, mask order, in one walk — so neither view requires a
+ * re-encode: the column view simply reads each square block through
+ * its transpose while fetching, which is the
+ * coordinate-addressability the pointer array buys (Section IV-B).
+ * Blocks are visited in pointer order and elements in mask order, so
+ * within every row group the column indices ascend and within every
+ * column group the row indices ascend — a fixed traversal order for
+ * any thread count.
+ */
+void
+gatherFcTaps(const CsbTensor &w, FcTaps *rows, FcTaps *cols)
+{
+    const Shape &ws = w.denseShape();
+    const int64_t o_ext = ws[0];
+    const int64_t i_ext = ws[1];
+    const int64_t side = w.blockSide();
+    const int64_t bpr = w.blocksPerRow();
+    const int64_t nnz = w.nnz();
+
+    if (rows) {
+        rows->offsets.assign(static_cast<size_t>(o_ext) + 1, 0);
+        rows->index.resize(static_cast<size_t>(nnz));
+        rows->value.resize(static_cast<size_t>(nnz));
+    }
+    if (cols) {
+        cols->offsets.assign(static_cast<size_t>(i_ext) + 1, 0);
+        cols->index.resize(static_cast<size_t>(nnz));
+        cols->value.resize(static_cast<size_t>(nnz));
+    }
+
+    // Pass 1: per-group counts (offset at index g+1, shifted below).
+    for (int64_t b = 0; b < w.numBlocks(); ++b) {
+        if (w.blockNnz(b) == 0)
+            continue;
+        const int64_t br = b / bpr;
+        const int64_t bc = b % bpr;
+        for (int64_t e = 0; e < w.blockElems(); ++e) {
+            if (!w.blockMaskBit(b, e))
+                continue;
+            const int64_t o = br * side + e / side;
+            const int64_t i = bc * side + e % side;
+            if (rows)
+                ++rows->offsets[static_cast<size_t>(o) + 1];
+            if (cols)
+                ++cols->offsets[static_cast<size_t>(i) + 1];
+        }
+    }
+    if (rows) {
+        for (int64_t o = 0; o < o_ext; ++o)
+            rows->offsets[static_cast<size_t>(o) + 1] +=
+                rows->offsets[static_cast<size_t>(o)];
+    }
+    if (cols) {
+        for (int64_t i = 0; i < i_ext; ++i)
+            cols->offsets[static_cast<size_t>(i) + 1] +=
+                cols->offsets[static_cast<size_t>(i)];
+    }
+
+    // Pass 2: fill, tracking a write cursor per group.
+    std::vector<int64_t> row_cursor, col_cursor;
+    if (rows)
+        row_cursor = rows->offsets;
+    if (cols)
+        col_cursor = cols->offsets;
+    std::vector<float> block;
+    for (int64_t b = 0; b < w.numBlocks(); ++b) {
+        if (w.blockNnz(b) == 0)
+            continue;   // density known from pointer subtraction
+        const int64_t br = b / bpr;
+        const int64_t bc = b % bpr;
+        block = w.blockDense(b);
+        for (int64_t e = 0; e < w.blockElems(); ++e) {
+            if (!w.blockMaskBit(b, e))
+                continue;
+            const float v = block[static_cast<size_t>(e)];
+            const int64_t o = br * side + e / side;
+            const int64_t i = bc * side + e % side;
+            if (rows) {
+                const int64_t at = row_cursor[static_cast<size_t>(o)]++;
+                rows->index[static_cast<size_t>(at)] = i;
+                rows->value[static_cast<size_t>(at)] = v;
+            }
+            if (cols) {
+                const int64_t at = col_cursor[static_cast<size_t>(i)]++;
+                cols->index[static_cast<size_t>(at)] = o;
+                cols->value[static_cast<size_t>(at)] = v;
+            }
+        }
+    }
+}
+
+/** Validate a CSB matrix against an [N, dim1] activation tensor. */
+void
+checkMatrixOperand(const Tensor &t, const CsbTensor &w, int64_t dim1,
+                   const char *what)
+{
+    PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::Matrix,
+                      "weights must be a CSB matrix");
+    PROCRUSTES_ASSERT(t.shape().rank() == 2 && t.shape()[1] == dim1,
+                      what);
+}
+
+} // namespace
+
+FcTapViews
+gatherFcTapViews(const CsbTensor &w)
+{
+    PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::Matrix,
+                      "weights must be a CSB matrix");
+    FcTapViews views;
+    gatherFcTaps(w, &views.rows, &views.cols);
+    return views;
+}
+
+Tensor
+sparseLinearForward(const Tensor &x, const CsbTensor &w, int64_t *macs,
+                    const FcTapViews *views)
+{
+    checkMatrixOperand(x, w, w.denseShape()[1],
+                       "fc input must be [N, in_features]");
+    const int64_t n = x.shape()[0];
+    const int64_t i_ext = w.denseShape()[1];
+    const int64_t o_ext = w.denseShape()[0];
+
+    FcTaps local;
+    if (!views)
+        gatherFcTaps(w, &local, nullptr);
+    const FcTaps &rows = views ? views->rows : local;
+
+    Tensor y(Shape{n, o_ext});
+    const float *px = x.data();
+    float *py = y.data();
+
+    // Batch-parallel: each task owns the y rows of its sample range,
+    // and every y[n, o] accumulates its row's taps in the one fixed
+    // (ascending-i) gather order — deterministic for any thread count.
+    // The forward executor skips zero weights only (they are never in
+    // the tap list), so the executed-MAC tally is nnz * N, no counter
+    // needed in the inner loop.
+    ThreadPool::global().parallelFor(0, n, [&](int64_t n0, int64_t n1) {
+        for (int64_t in = n0; in < n1; ++in) {
+            const float *xr = px + in * i_ext;
+            float *yr = py + in * o_ext;
+            for (int64_t o = 0; o < o_ext; ++o) {
+                const int64_t t0 = rows.offsets[static_cast<size_t>(o)];
+                const int64_t t1 =
+                    rows.offsets[static_cast<size_t>(o) + 1];
+                float acc = 0.0f;
+                for (int64_t t = t0; t < t1; ++t)
+                    acc += rows.value[static_cast<size_t>(t)] *
+                           xr[rows.index[static_cast<size_t>(t)]];
+                yr[o] = acc;
+            }
+        }
+    });
+    if (macs)
+        *macs = w.nnz() * n;
+    return y;
+}
+
+Tensor
+sparseLinearBackwardData(const Tensor &dy, const CsbTensor &w,
+                         int64_t *macs, const FcTapViews *views)
+{
+    checkMatrixOperand(dy, w, w.denseShape()[0],
+                       "dy must be [N, out_features]");
+    const int64_t n = dy.shape()[0];
+    const int64_t o_ext = w.denseShape()[0];
+    const int64_t i_ext = w.denseShape()[1];
+
+    // The backward pass consumes the same packed blocks through the
+    // transposed view: the column-grouped tap list below IS that
+    // traversal (each block read transposed while fetching), so W^T
+    // never exists as a second encode.
+    FcTaps local;
+    if (!views)
+        gatherFcTaps(w, nullptr, &local);
+    const FcTaps &cols = views ? views->cols : local;
+
+    Tensor dx(Shape{n, i_ext});
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+
+    // Batch-parallel with private dx rows per task. Zero dy operands
+    // are skipped (the activation sparsity a ReLU backward propagates)
+    // — a skipped term is an exact zero, so the sums stay the exact
+    // adjoint of the forward, while the executed-MAC tally (a sum of
+    // per-task integers) shrinks with the measured gradient density.
+    std::atomic<int64_t> mac_total{0};
+    ThreadPool::global().parallelFor(0, n, [&](int64_t n0, int64_t n1) {
+        int64_t local_macs = 0;
+        for (int64_t in = n0; in < n1; ++in) {
+            const float *dyr = pdy + in * o_ext;
+            float *dxr = pdx + in * i_ext;
+            for (int64_t i = 0; i < i_ext; ++i) {
+                const int64_t t0 = cols.offsets[static_cast<size_t>(i)];
+                const int64_t t1 =
+                    cols.offsets[static_cast<size_t>(i) + 1];
+                float acc = 0.0f;
+                for (int64_t t = t0; t < t1; ++t) {
+                    const float g =
+                        dyr[cols.index[static_cast<size_t>(t)]];
+                    if (g == 0.0f)
+                        continue;
+                    acc += cols.value[static_cast<size_t>(t)] * g;
+                    ++local_macs;
+                }
+                dxr[i] = acc;
+            }
+        }
+        mac_total.fetch_add(local_macs, std::memory_order_relaxed);
+    });
+    if (macs)
+        *macs = mac_total.load(std::memory_order_relaxed);
+    return dx;
+}
+
+void
+sparseLinearBackwardWeights(const Tensor &x, const Tensor &dy,
+                            const CsbTensor &w, Tensor *dw,
+                            int64_t *macs, const FcTapViews *views)
+{
+    checkMatrixOperand(x, w, w.denseShape()[1],
+                       "fc input must be [N, in_features]");
+    checkMatrixOperand(dy, w, w.denseShape()[0],
+                       "dy must be [N, out_features]");
+    PROCRUSTES_ASSERT(dw && dw->shape() == w.denseShape(),
+                      "dw shape mismatch in sparse linear backward");
+    PROCRUSTES_ASSERT(x.shape()[0] == dy.shape()[0],
+                      "x / dy batch mismatch");
+    const int64_t n = x.shape()[0];
+    const int64_t i_ext = w.denseShape()[1];
+    const int64_t o_ext = w.denseShape()[0];
+
+    // The weight-gradient pass reads the mask array, not the packed
+    // values: it needs the live *positions*, while the value being
+    // replaced is irrelevant. The row-grouped gather supplies them in
+    // row-major order; flatten to (row, col) pairs once.
+    FcTaps local;
+    if (!views)
+        gatherFcTaps(w, &local, nullptr);
+    const FcTaps &rows = views ? views->rows : local;
+    const int64_t nnz = w.nnz();
+    if (nnz == 0) {
+        if (macs)
+            *macs = 0;
+        return;
+    }
+    std::vector<int64_t> live_row(static_cast<size_t>(nnz));
+    for (int64_t o = 0; o < o_ext; ++o) {
+        for (int64_t t = rows.offsets[static_cast<size_t>(o)];
+             t < rows.offsets[static_cast<size_t>(o) + 1]; ++t)
+            live_row[static_cast<size_t>(t)] = o;
+    }
+
+    const float *px = x.data();
+    const float *pdy = dy.data();
+    float *pdw = dw->data();
+
+    // Batch-parallel with per-sample partial rows: whichever task
+    // computes sample `in` writes partial slice `in - base`, and the
+    // reduction walks samples in index order — so the accumulation
+    // order per dW element is fixed for every thread count. The
+    // partial buffer is capped: samples are processed in groups whose
+    // size depends only on nnz (never on the thread count), bounding
+    // scratch at ~64 MB for any batch size. Zero activations — the
+    // ReLU zeros that make x the sparse operand of this phase — are
+    // skipped (their partial is an exact zero), and the executed MACs
+    // tallied.
+    constexpr int64_t kMaxPartialBytes = 64 << 20;
+    const int64_t group = std::min(
+        n, std::max<int64_t>(
+               1, kMaxPartialBytes /
+                      (nnz * static_cast<int64_t>(sizeof(float)))));
+    ScratchArena::Buffer part = ScratchArena::global().acquire(
+        static_cast<size_t>(group * nnz));
+    float *ppart = part.data();
+
+    ThreadPool &pool = ThreadPool::global();
+    std::atomic<int64_t> mac_total{0};
+    for (int64_t base = 0; base < n; base += group) {
+        const int64_t hi = std::min(n, base + group);
+        pool.parallelFor(base, hi, [&](int64_t n0, int64_t n1) {
+            int64_t local_macs = 0;
+            for (int64_t in = n0; in < n1; ++in) {
+                const float *xr = px + in * i_ext;
+                const float *dyr = pdy + in * o_ext;
+                float *slot = ppart + (in - base) * nnz;
+                for (int64_t t = 0; t < nnz; ++t) {
+                    const float xv =
+                        xr[rows.index[static_cast<size_t>(t)]];
+                    if (xv == 0.0f) {
+                        slot[t] = 0.0f;
+                        continue;
+                    }
+                    slot[t] =
+                        dyr[live_row[static_cast<size_t>(t)]] * xv;
+                    ++local_macs;
+                }
+            }
+            mac_total.fetch_add(local_macs, std::memory_order_relaxed);
+        });
+
+        // Ordered reduction: every live dW element sums this group's
+        // per-sample partials in sample order. Parallel over taps
+        // (disjoint outputs), never over samples — that, plus group
+        // boundaries that do not depend on the thread count, keeps the
+        // result bitwise identical for any pool size. Pruned positions
+        // are never touched: their dW entries stay exactly as given.
+        const int64_t gn = hi - base;
+        pool.parallelFor(0, nnz, [&](int64_t t0, int64_t t1) {
+            for (int64_t t = t0; t < t1; ++t) {
+                const int64_t di =
+                    live_row[static_cast<size_t>(t)] * i_ext +
+                    rows.index[static_cast<size_t>(t)];
+                float acc = pdw[di];
+                for (int64_t s = 0; s < gn; ++s)
+                    acc += ppart[s * nnz + t];
+                pdw[di] = acc;
+            }
+        });
+    }
+    if (macs)
+        *macs = mac_total.load(std::memory_order_relaxed);
+}
+
+SparseLinearMacCounts
+sparseLinearMacCounts(const Tensor &x, const CsbTensor &w)
+{
+    checkMatrixOperand(x, w, w.denseShape()[1],
+                       "fc input must be [N, in_features]");
+    const int64_t bound = w.nnz() * x.shape()[0];
+    SparseLinearMacCounts counts;
+    counts.forward = bound;
+    counts.backwardData = bound;
+    counts.backwardWeight = bound;
+    return counts;
+}
+
+SparseLinearMacCounts
+sparseLinearMacCounts(const Tensor &x, const Tensor &dy,
+                      const CsbTensor &w)
+{
+    checkMatrixOperand(x, w, w.denseShape()[1],
+                       "fc input must be [N, in_features]");
+    checkMatrixOperand(dy, w, w.denseShape()[0],
+                       "dy must be [N, out_features]");
+    PROCRUSTES_ASSERT(x.shape()[0] == dy.shape()[0],
+                      "x / dy batch mismatch");
+    const int64_t n = x.shape()[0];
+    const int64_t o_ext = w.denseShape()[0];
+    const int64_t i_ext = w.denseShape()[1];
+
+    // A live weight (o, i) fires once per sample in the forward pass;
+    // in backward-data only when dy[n, o] != 0; in backward-weight
+    // only when x[n, i] != 0. Count the non-zero operands per column
+    // once, then weigh each by how many live weights consume it.
+    std::vector<int64_t> dy_nz(static_cast<size_t>(o_ext), 0);
+    std::vector<int64_t> x_nz(static_cast<size_t>(i_ext), 0);
+    const float *pdy = dy.data();
+    const float *px = x.data();
+    for (int64_t in = 0; in < n; ++in) {
+        const float *dyr = pdy + in * o_ext;
+        for (int64_t o = 0; o < o_ext; ++o)
+            dy_nz[static_cast<size_t>(o)] += dyr[o] != 0.0f;
+        const float *xr = px + in * i_ext;
+        for (int64_t i = 0; i < i_ext; ++i)
+            x_nz[static_cast<size_t>(i)] += xr[i] != 0.0f;
+    }
+
+    FcTaps rows;
+    gatherFcTaps(w, &rows, nullptr);
+    SparseLinearMacCounts counts;
+    counts.forward = w.nnz() * n;
+    for (int64_t o = 0; o < o_ext; ++o) {
+        const int64_t row_nnz =
+            rows.offsets[static_cast<size_t>(o) + 1] -
+            rows.offsets[static_cast<size_t>(o)];
+        counts.backwardData += row_nnz * dy_nz[static_cast<size_t>(o)];
+        for (int64_t t = rows.offsets[static_cast<size_t>(o)];
+             t < rows.offsets[static_cast<size_t>(o) + 1]; ++t)
+            counts.backwardWeight +=
+                x_nz[static_cast<size_t>(
+                    rows.index[static_cast<size_t>(t)])];
+    }
+    return counts;
+}
+
+} // namespace sparse
+} // namespace procrustes

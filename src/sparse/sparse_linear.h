@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Sparse fully-connected executors operating directly on CSB weights.
+ *
+ * The fc layers of Section II-A read the same weight matrix in two
+ * orders: W in the forward pass (y = x W^T) and W^T in the backward
+ * pass (dx = dy W). The CSB format (Section IV-B) serves both because
+ * its square blocks are coordinate-addressable: the backward pass
+ * traverses the *same* packed blocks transposed while fetching — no
+ * second encode, no materialized W^T. These functions are the
+ * functional-model equivalent of the accelerator's fc datapath:
+ * traversal touches only non-zero weights, the weight-gradient pass
+ * accumulates only into mask-live positions, and zero operands (ReLU
+ * activation zeros in the weight-update phase, gradient zeros in the
+ * backward-data phase) issue no MAC, exactly like the conv executors
+ * in sparse_conv.h.
+ *
+ * All three executors are batch-parallel over the shared ThreadPool.
+ * Forward and backward-data give each task a private range of output
+ * rows, iterated in fixed tap order; backward-weights computes
+ * per-sample partial gradients into ScratchArena workspaces and
+ * reduces them in sample order — so every result is bitwise identical
+ * for any thread count (enforced by tests/test_sparse_linear.cc).
+ */
+
+#ifndef PROCRUSTES_SPARSE_SPARSE_LINEAR_H_
+#define PROCRUSTES_SPARSE_SPARSE_LINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csb.h"
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace sparse {
+
+/**
+ * One traversal view of a CSB matrix: the non-zero weights grouped
+ * per dense row (the forward / weight-update order) or per dense
+ * column (the block-transposed backward order), each group in
+ * ascending order of the other coordinate.
+ */
+struct FcTaps
+{
+    std::vector<int64_t> offsets;   //!< group start offsets, size G+1
+    std::vector<int64_t> index;     //!< the other coordinate, per tap
+    std::vector<float> value;       //!< weight value, per tap
+};
+
+/**
+ * Both traversal views of one CSB matrix, gathered in a single walk
+ * over the packed blocks. The executors below accept a pre-gathered
+ * view set so a caller that runs all three training phases on one
+ * encode (nn::Linear under kSparse) pays the O(O*I) block walk once
+ * per step instead of once per phase; results are identical either
+ * way.
+ */
+struct FcTapViews
+{
+    FcTaps rows;   //!< per-output-row taps (forward, weight-update)
+    FcTaps cols;   //!< per-input-column taps (backward-data)
+};
+
+/** Gather both views of `w` in one block walk. */
+FcTapViews gatherFcTapViews(const CsbTensor &w);
+
+/**
+ * Forward fc pass y = x W^T from CSB-encoded weights.
+ *
+ * @param x input activations [N, I].
+ * @param w CSB-encoded weight matrix whose dense space is [O, I]
+ *        (CsbTensor::Kind::Matrix).
+ * @param macs optional out: MACs executed. The forward executor skips
+ *        zero *weights* only (like sparseConvForward), so this is
+ *        nnz(w) * N.
+ * @param views optional pre-gathered tap views of `w` (must describe
+ *        exactly this encode); nullptr gathers locally.
+ * @return output activations [N, O] (no bias; callers add it).
+ */
+Tensor sparseLinearForward(const Tensor &x, const CsbTensor &w,
+                           int64_t *macs = nullptr,
+                           const FcTapViews *views = nullptr);
+
+/**
+ * Backward-data fc pass dx = dy W from the same CSB blocks, traversed
+ * block-transposed while fetching (the fc analogue of the Figure 2b
+ * rotated conv view): the column-indexed tap walk reads each square
+ * block through its transpose, so no W^T is ever re-encoded.
+ *
+ * Zero entries of dy are skipped — after a ReLU (or softmax with
+ * sparse targets) backward the incoming gradient carries activation
+ * sparsity, and a PE issues no MAC for a zero operand. Skipping a
+ * zero term leaves the sums bit-identical, so this executor stays the
+ * exact adjoint of sparseLinearForward.
+ *
+ * @param dy output-side gradient [N, O].
+ * @param w CSB-encoded weight matrix [O, I].
+ * @param macs optional out: MACs actually executed (live weights x
+ *        non-zero dy operands).
+ * @param views optional pre-gathered tap views of `w`.
+ * @return input-side gradient [N, I].
+ */
+Tensor sparseLinearBackwardData(const Tensor &dy, const CsbTensor &w,
+                                int64_t *macs = nullptr,
+                                const FcTapViews *views = nullptr);
+
+/**
+ * Weight-gradient fc pass restricted to the CSB mask:
+ * dW[o, i] += sum_n dy[n, o] * x[n, i] for every position the mask
+ * marks live. Pruned positions accumulate nothing — their MACs are
+ * skipped exactly as the PEs skip zero weights, which keeps pruned fc
+ * weights frozen during sparse training.
+ *
+ * Zero input activations are skipped: ReLU zeros make x the sparse
+ * operand of the weight-update phase (Section II-B), and their
+ * product terms are exact zeros, so the accumulated dW is
+ * bit-identical while the executed MACs — reported through `macs` —
+ * shrink with the measured activation density.
+ *
+ * @param x forward input activations [N, I].
+ * @param dy output-side gradient [N, O].
+ * @param w CSB-encoded weight matrix [O, I] (supplies the mask).
+ * @param dw dense weight gradient [O, I]; ACCUMULATED into at live
+ *        positions only, untouched elsewhere.
+ * @param macs optional out: MACs actually executed (mask-live
+ *        positions x non-zero activation operands).
+ * @param views optional pre-gathered tap views of `w`.
+ */
+void sparseLinearBackwardWeights(const Tensor &x, const Tensor &dy,
+                                 const CsbTensor &w, Tensor *dw,
+                                 int64_t *macs = nullptr,
+                                 const FcTapViews *views = nullptr);
+
+/**
+ * Exact MAC counts of the three fc training phases. Mirrors
+ * SparseConvMacCounts so cost-model consumers can attribute counts
+ * per phase.
+ */
+struct SparseLinearMacCounts
+{
+    int64_t forward = 0;
+    int64_t backwardData = 0;
+    int64_t backwardWeight = 0;
+
+    /** Whole-iteration MACs (all three phases). */
+    int64_t total() const { return forward + backwardData + backwardWeight; }
+};
+
+/**
+ * Weight-only MAC bound for this input: every live weight fires once
+ * per sample in each phase, so all three counts equal nnz(w) * N.
+ * This is what the executors would do if neither dy nor x carried a
+ * single zero.
+ *
+ * @param x forward input activations [N, I] (supplies the batch).
+ */
+SparseLinearMacCounts sparseLinearMacCounts(const Tensor &x,
+                                            const CsbTensor &w);
+
+/**
+ * Measured MAC counts honouring weight mask AND operand zeros —
+ * exactly what the zero-skipping executors execute on this input:
+ *
+ *   forward:          live weights x samples (weights skipped only);
+ *   backward-data:    live weights x samples whose dy operand is
+ *                     non-zero (the dy-skip);
+ *   backward-weight:  mask-live positions x samples whose input
+ *                     activation operand is non-zero (the x-skip).
+ *
+ * These are the per-step numbers Linear's LayerStepReport feeds into
+ * the workload-trace pipeline.
+ *
+ * @param x forward input activations [N, I] (real values).
+ * @param dy output-side gradient [N, O] (real values).
+ */
+SparseLinearMacCounts sparseLinearMacCounts(const Tensor &x,
+                                            const Tensor &dy,
+                                            const CsbTensor &w);
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_SPARSE_LINEAR_H_

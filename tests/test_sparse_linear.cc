@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Test harness for the CSB sparse fc executors (sparse_linear.h) and
+ * the Linear kSparse backend built on them — the proof obligations of
+ * the "last dense gap" close-out:
+ *
+ *   - parity: y / dx / dW / db match a masked-dense reference at 0%,
+ *     50%, and 80% weight sparsity with 50-60% activation zeros;
+ *   - gradients: finite-difference gradcheck of dx and dW. Linear is
+ *     bilinear, so a large central-difference step (0.25) has exactly
+ *     zero truncation error and the checks run at 1e-3 in fp32;
+ *   - determinism: every executor is bitwise thread-count-invariant
+ *     (pools of 1 / 2 / 3 / 8 threads);
+ *   - MAC accounting: executor tallies and sparseLinearMacCounts
+ *     match a brute force honouring the weight mask AND operand
+ *     zeros, and executed MACs sit strictly below the dense count at
+ *     >= 50% sparsity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "kernels/backend.h"
+#include "nn/linear.h"
+#include "sparse/csb.h"
+#include "sparse/mask.h"
+#include "sparse/sparse_linear.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+constexpr int64_t kBlockSide = nn::Linear::kCsbBlockSide;
+
+/** Masked random [O, I] weight matrix at a given density. */
+Tensor
+maskedMatrix(int64_t o_ext, int64_t i_ext, double density, uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{o_ext, i_ext});
+    w.fillGaussian(rng, 0.5f);
+    if (density >= 1.0)
+        return w;
+    SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.seed = seed + 1;
+    const SparsityMask m = makeSyntheticMask(o_ext, i_ext, 1, 1, cfg);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (!m.bits[static_cast<size_t>(i)])
+            w.at(i) = 0.0f;
+    }
+    return w;
+}
+
+/** Zero out a deterministic fraction of a tensor (ReLU-like zeros). */
+void
+zeroSome(Tensor *t, uint64_t seed, double zero_fraction)
+{
+    Xorshift128Plus rng(seed);
+    for (int64_t i = 0; i < t->numel(); ++i) {
+        if (static_cast<double>(rng.next() % 1000) <
+            zero_fraction * 1000.0)
+            t->at(i) = 0.0f;
+    }
+}
+
+/** L = <sparseLinearForward(x, w), dy>, accumulated in double. */
+double
+sparseLoss(const Tensor &x, const Tensor &w, const Tensor &dy)
+{
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+    const Tensor y = sparseLinearForward(x, csb);
+    const float *py = y.data();
+    const float *pdy = dy.data();
+    double loss = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        loss += static_cast<double>(py[i]) * pdy[i];
+    return loss;
+}
+
+class SparseLinear : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SparseLinear, ForwardAndBackwardsMatchMaskedDense)
+{
+    // The three executors against explicit dense loop nests over the
+    // same (masked) operands, with 50-60% activation and gradient
+    // zeros present: skipping a zero operand must not change a single
+    // number, and pruned positions must receive exactly no gradient.
+    const double density = GetParam();
+    const int64_t n = 5, i_ext = 19, o_ext = 13;
+    const Tensor w = maskedMatrix(o_ext, i_ext, density, 301);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+
+    Xorshift128Plus rng(307);
+    Tensor x(Shape{n, i_ext});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 311, 0.55);
+    Tensor dy(Shape{n, o_ext});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 313, 0.5);
+
+    const Tensor y = sparseLinearForward(x, csb);
+    const Tensor dx = sparseLinearBackwardData(dy, csb);
+    Tensor dw(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &dw);
+
+    // Dense references.
+    Tensor y_ref(Shape{n, o_ext});
+    Tensor dx_ref(Shape{n, i_ext});
+    Tensor dw_ref(w.shape());
+    for (int64_t in = 0; in < n; ++in) {
+        for (int64_t o = 0; o < o_ext; ++o) {
+            float acc = 0.0f;
+            for (int64_t i = 0; i < i_ext; ++i)
+                acc += x(in, i) * w(o, i);
+            y_ref(in, o) = acc;
+        }
+        for (int64_t i = 0; i < i_ext; ++i) {
+            float acc = 0.0f;
+            for (int64_t o = 0; o < o_ext; ++o)
+                acc += dy(in, o) * w(o, i);
+            dx_ref(in, i) = acc;
+        }
+    }
+    for (int64_t o = 0; o < o_ext; ++o) {
+        for (int64_t i = 0; i < i_ext; ++i) {
+            if (w(o, i) == 0.0f)
+                continue;   // pruned: the executor must not touch it
+            float acc = 0.0f;
+            for (int64_t in = 0; in < n; ++in)
+                acc += dy(in, o) * x(in, i);
+            dw_ref(o, i) = acc;
+        }
+    }
+
+    for (int64_t i = 0; i < y.numel(); ++i)
+        ASSERT_NEAR(y.at(i), y_ref.at(i),
+                    1e-4f * (1.0f + std::fabs(y_ref.at(i))))
+            << "y[" << i << "] density=" << density;
+    for (int64_t i = 0; i < dx.numel(); ++i)
+        ASSERT_NEAR(dx.at(i), dx_ref.at(i),
+                    1e-4f * (1.0f + std::fabs(dx_ref.at(i))))
+            << "dx[" << i << "] density=" << density;
+    for (int64_t i = 0; i < dw.numel(); ++i) {
+        if (w.at(i) == 0.0f)
+            ASSERT_EQ(dw.at(i), 0.0f) << "pruned w[" << i << "]";
+        else
+            ASSERT_NEAR(dw.at(i), dw_ref.at(i),
+                        1e-4f * (1.0f + std::fabs(dw_ref.at(i))))
+                << "dw[" << i << "] density=" << density;
+    }
+}
+
+TEST_P(SparseLinear, BackwardDataMatchesFiniteDifferences)
+{
+    const double density = GetParam();
+    const Tensor w = maskedMatrix(11, 17, density, 401);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+
+    Xorshift128Plus rng(403);
+    Tensor x(Shape{4, 17});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 409, 0.5);
+    Tensor dy(Shape{4, 11});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 419, 0.5);
+
+    const Tensor dx = sparseLinearBackwardData(dy, csb);
+
+    const float eps = 0.25f;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+        const float orig = x.at(i);
+        x.at(i) = orig + eps;
+        const double lp = sparseLoss(x, w, dy);
+        x.at(i) = orig - eps;
+        const double lm = sparseLoss(x, w, dy);
+        x.at(i) = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(dx.at(i), numeric,
+                    1e-3 * std::max(1.0, std::fabs(numeric)))
+            << "density=" << density << " x[" << i << "]";
+    }
+}
+
+TEST_P(SparseLinear, BackwardWeightsMatchesFiniteDifferences)
+{
+    const double density = GetParam();
+    Tensor w = maskedMatrix(9, 15, density, 421);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+
+    Xorshift128Plus rng(431);
+    Tensor x(Shape{4, 15});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 433, 0.6);
+    Tensor dy(Shape{4, 9});
+    dy.fillGaussian(rng, 1.0f);
+
+    Tensor dw(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &dw);
+
+    const float eps = 0.25f;
+    int checked = 0;
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (w.at(i) == 0.0f) {
+            ASSERT_EQ(dw.at(i), 0.0f) << "pruned w[" << i << "]";
+            continue;   // only live positions carry gradient
+        }
+        ++checked;
+        const float orig = w.at(i);
+        w.at(i) = orig + eps;
+        const double lp = sparseLoss(x, w, dy);
+        w.at(i) = orig - eps;
+        const double lm = sparseLoss(x, w, dy);
+        w.at(i) = orig;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(dw.at(i), numeric,
+                    1e-3 * std::max(1.0, std::fabs(numeric)))
+            << "density=" << density << " w[" << i << "]";
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST_P(SparseLinear, MacCountsMatchBruteForce)
+{
+    const double density = GetParam();
+    const int64_t n = 6, i_ext = 21, o_ext = 10;
+    const Tensor w = maskedMatrix(o_ext, i_ext, density, 503);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+
+    Xorshift128Plus rng(509);
+    Tensor x(Shape{n, i_ext});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 521, 0.55);
+    Tensor dy(Shape{n, o_ext});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 523, 0.5);
+
+    // Brute force honouring the weight mask and operand zeros — the
+    // executors' skip rules replayed as plain loops.
+    SparseLinearMacCounts expected;
+    for (int64_t o = 0; o < o_ext; ++o) {
+        for (int64_t i = 0; i < i_ext; ++i) {
+            if (w(o, i) == 0.0f)
+                continue;
+            for (int64_t in = 0; in < n; ++in) {
+                ++expected.forward;
+                if (dy(in, o) != 0.0f)
+                    ++expected.backwardData;
+                if (x(in, i) != 0.0f)
+                    ++expected.backwardWeight;
+            }
+        }
+    }
+
+    const SparseLinearMacCounts counted =
+        sparseLinearMacCounts(x, dy, csb);
+    EXPECT_EQ(counted.forward, expected.forward);
+    EXPECT_EQ(counted.backwardData, expected.backwardData);
+    EXPECT_EQ(counted.backwardWeight, expected.backwardWeight);
+
+    // The executors' own tallies must agree with the brute force.
+    int64_t fw_macs = -1, bw_data_macs = -1, bw_weight_macs = -1;
+    sparseLinearForward(x, csb, &fw_macs);
+    sparseLinearBackwardData(dy, csb, &bw_data_macs);
+    Tensor dw(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &dw, &bw_weight_macs);
+    EXPECT_EQ(fw_macs, expected.forward);
+    EXPECT_EQ(bw_data_macs, expected.backwardData);
+    EXPECT_EQ(bw_weight_macs, expected.backwardWeight);
+
+    // The weight-only overload is the zero-free upper bound; with
+    // operand zeros present the backward counts sit strictly below it.
+    const SparseLinearMacCounts bound = sparseLinearMacCounts(x, csb);
+    EXPECT_EQ(bound.forward, csb.nnz() * n);
+    EXPECT_EQ(counted.forward, bound.forward);
+    EXPECT_LT(counted.backwardData, bound.backwardData);
+    EXPECT_LT(counted.backwardWeight, bound.backwardWeight);
+
+    // At >= 50% weight sparsity every executed phase count must be
+    // strictly below the dense operation space.
+    const int64_t dense = n * o_ext * i_ext;
+    if (density <= 0.5) {
+        EXPECT_LT(counted.forward, dense);
+        EXPECT_LT(counted.backwardData, dense);
+        EXPECT_LT(counted.backwardWeight, dense);
+    }
+}
+
+// 0%, 50%, and 80% weight sparsity (the paper's fc operating points).
+INSTANTIATE_TEST_SUITE_P(Densities, SparseLinear,
+                         ::testing::Values(1.0, 0.5, 0.2));
+
+TEST(SparseLinearViews, PreGatheredTapViewsMatchLocalGather)
+{
+    // The FcTapViews fast path (one block walk shared by all three
+    // phases, as Linear uses per step) must be bit-identical to the
+    // per-call gather, tallies included.
+    const Tensor w = maskedMatrix(14, 27, 0.4, 901);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+    const FcTapViews views = gatherFcTapViews(csb);
+    Xorshift128Plus rng(907);
+    Tensor x(Shape{4, 27});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 911, 0.5);
+    Tensor dy(Shape{4, 14});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 919, 0.5);
+
+    int64_t fw_a = -1, fw_b = -1, bwd_a = -1, bwd_b = -1;
+    int64_t bww_a = -1, bww_b = -1;
+    const Tensor y_a = sparseLinearForward(x, csb, &fw_a);
+    const Tensor y_b = sparseLinearForward(x, csb, &fw_b, &views);
+    const Tensor dx_a = sparseLinearBackwardData(dy, csb, &bwd_a);
+    const Tensor dx_b =
+        sparseLinearBackwardData(dy, csb, &bwd_b, &views);
+    Tensor dw_a(w.shape()), dw_b(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &dw_a, &bww_a);
+    sparseLinearBackwardWeights(x, dy, csb, &dw_b, &bww_b, &views);
+
+    EXPECT_EQ(maxAbsDiff(y_a, y_b), 0.0f);
+    EXPECT_EQ(maxAbsDiff(dx_a, dx_b), 0.0f);
+    EXPECT_EQ(maxAbsDiff(dw_a, dw_b), 0.0f);
+    EXPECT_EQ(fw_a, fw_b);
+    EXPECT_EQ(bwd_a, bwd_b);
+    EXPECT_EQ(bww_a, bww_b);
+}
+
+TEST(SparseLinearAccumulate, BackwardWeightsAccumulatesAcrossCalls)
+{
+    // Param::grad semantics: += into the given tensor, never overwrite.
+    const Tensor w = maskedMatrix(7, 12, 0.5, 601);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+    Xorshift128Plus rng(607);
+    Tensor x(Shape{3, 12});
+    x.fillGaussian(rng, 1.0f);
+    Tensor dy(Shape{3, 7});
+    dy.fillGaussian(rng, 1.0f);
+
+    Tensor once(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &once);
+    Tensor twice(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &twice);
+    sparseLinearBackwardWeights(x, dy, csb, &twice);
+    for (int64_t i = 0; i < once.numel(); ++i)
+        ASSERT_NEAR(twice.at(i), 2.0f * once.at(i),
+                    1e-4f * (1.0f + std::fabs(once.at(i))))
+            << i;
+}
+
+TEST(SparseLinearEdge, EmptyMatrixProducesZeroGradAndZeroMacs)
+{
+    // A fully pruned fc matrix: every output is zero, nothing
+    // executes, nothing accumulates.
+    Tensor w(Shape{6, 10});   // all zeros
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+    ASSERT_EQ(csb.nnz(), 0);
+    Xorshift128Plus rng(613);
+    Tensor x(Shape{2, 10});
+    x.fillGaussian(rng, 1.0f);
+    Tensor dy(Shape{2, 6});
+    dy.fillGaussian(rng, 1.0f);
+
+    int64_t fw = -1, bwd = -1, bww = -1;
+    const Tensor y = sparseLinearForward(x, csb, &fw);
+    const Tensor dx = sparseLinearBackwardData(dy, csb, &bwd);
+    Tensor dw(w.shape());
+    sparseLinearBackwardWeights(x, dy, csb, &dw, &bww);
+    EXPECT_EQ(fw, 0);
+    EXPECT_EQ(bwd, 0);
+    EXPECT_EQ(bww, 0);
+    for (int64_t i = 0; i < y.numel(); ++i)
+        ASSERT_EQ(y.at(i), 0.0f);
+    for (int64_t i = 0; i < dx.numel(); ++i)
+        ASSERT_EQ(dx.at(i), 0.0f);
+    for (int64_t i = 0; i < dw.numel(); ++i)
+        ASSERT_EQ(dw.at(i), 0.0f);
+}
+
+// --------------------------------------- thread-count determinism sweep
+
+/** Restores the process-wide pool to its env-resolved size on exit. */
+struct GlobalPoolGuard
+{
+    ~GlobalPoolGuard() { ThreadPool::resetGlobal(0); }
+};
+
+/** Everything one fc training step produces, for bitwise comparison. */
+struct FcStepResult
+{
+    Tensor y, dx, dw, db;          // dense gemm backend
+    Tensor sy, sdx, sdw, sdb;      // CSB sparse backend
+};
+
+/**
+ * One dense-gemm + one CSB-sparse Linear training step on fixed seeds
+ * at the current global pool size. Batch 16 against out_features 10
+ * makes the batch dimension the parallel axis for every swept pool
+ * size, and in_features 37 leaves a ragged edge block (37 = 4*8 + 5).
+ */
+FcStepResult
+runFcTrainingStep()
+{
+    const int64_t n = 16, i_ext = 37, o_ext = 10;
+    FcStepResult out;
+    Xorshift128Plus rng(701);
+    Tensor x(Shape{n, i_ext});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 703, 0.5);
+    Tensor dy(Shape{n, o_ext});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 709, 0.5);
+
+    nn::Linear dense(i_ext, o_ext, "dense");
+    dense.setBackend(kernels::KernelBackend::kGemm);
+    Xorshift128Plus wrng(719);
+    dense.weight().value.fillGaussian(wrng, 0.5f);
+    dense.bias().value.fillGaussian(wrng, 0.5f);
+    out.y = dense.forward(x, true);
+    out.dx = dense.backward(dy);
+    out.dw = dense.weight().grad;
+    out.db = dense.bias().grad;
+
+    nn::Linear sparse(i_ext, o_ext, "sparse");
+    sparse.setBackend(kernels::KernelBackend::kSparse);
+    sparse.weight().value = dense.weight().value;
+    sparse.bias().value = dense.bias().value;
+    // Prune ~70% so the CSB executors actually skip blocks and taps.
+    Xorshift128Plus prng(727);
+    for (int64_t i = 0; i < sparse.weight().value.numel(); ++i) {
+        if (prng.nextFloat() < 0.7f)
+            sparse.weight().value.at(i) = 0.0f;
+    }
+    out.sy = sparse.forward(x, true);
+    out.sdx = sparse.backward(dy);
+    out.sdw = sparse.weight().grad;
+    out.sdb = sparse.bias().grad;
+    return out;
+}
+
+TEST(ThreadSweep, FcTrainingStepBitwiseIdenticalAcrossThreadCounts)
+{
+    GlobalPoolGuard guard;
+    ThreadPool::resetGlobal(1);
+    const FcStepResult ref = runFcTrainingStep();
+
+    for (int threads : {2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        ASSERT_EQ(ThreadPool::global().numThreads(), threads);
+        const FcStepResult got = runFcTrainingStep();
+        EXPECT_EQ(maxAbsDiff(got.y, ref.y), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.dx, ref.dx), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.dw, ref.dw), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.db, ref.db), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sy, ref.sy), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sdx, ref.sdx), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sdw, ref.sdw), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(got.sdb, ref.sdb), 0.0f) << threads;
+    }
+}
+
+TEST(ThreadSweep, FcExecutorsBitwiseIdenticalOnNarrowBatch)
+{
+    // Batch 3 leaves threads idle at pool size 8: the executors must
+    // still produce bit-identical results (private output rows plus
+    // the sample-ordered dW reduction are partition-independent).
+    GlobalPoolGuard guard;
+    const Tensor w = maskedMatrix(24, 40, 0.3, 801);
+
+    Xorshift128Plus rng(809);
+    Tensor x(Shape{3, 40});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 811, 0.5);
+    Tensor dy(Shape{3, 24});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 821, 0.5);
+
+    Tensor ref_y, ref_dx, ref_dw;
+    int64_t ref_fw = 0, ref_bwd = 0, ref_bww = 0;
+    for (int threads : {1, 2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        const CsbTensor csb = CsbTensor::encodeMatrix(w, kBlockSide);
+        int64_t fw = -1, bwd = -1, bww = -1;
+        const Tensor y = sparseLinearForward(x, csb, &fw);
+        const Tensor dx = sparseLinearBackwardData(dy, csb, &bwd);
+        Tensor dw(w.shape());
+        sparseLinearBackwardWeights(x, dy, csb, &dw, &bww);
+        if (threads == 1) {
+            ref_y = y;
+            ref_dx = dx;
+            ref_dw = dw;
+            ref_fw = fw;
+            ref_bwd = bwd;
+            ref_bww = bww;
+            continue;
+        }
+        EXPECT_EQ(maxAbsDiff(y, ref_y), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(dx, ref_dx), 0.0f) << threads;
+        EXPECT_EQ(maxAbsDiff(dw, ref_dw), 0.0f) << threads;
+        // The MAC tallies are sums of per-chunk integers — equally
+        // thread-count-invariant.
+        EXPECT_EQ(fw, ref_fw) << threads;
+        EXPECT_EQ(bwd, ref_bwd) << threads;
+        EXPECT_EQ(bww, ref_bww) << threads;
+    }
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes

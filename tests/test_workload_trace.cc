@@ -24,6 +24,7 @@
 #include "nn/network.h"
 #include "nn/pooling.h"
 #include "nn/trainer.h"
+#include "sparse/csb.h"
 #include "sparse/mask.h"
 
 namespace procrustes {
@@ -136,13 +137,61 @@ TEST(StepObserver, DeliversPerStepReportsInLayerOrder)
                     c2.inputSampleDensity[n], 1e-12);
     }
 
-    // The fc layer reports honest dense MACs (kSparse remaps to gemm)
-    // and must not claim sparse execution.
+    // The fc layer stays on the default gemm backend here (buildNet
+    // switches only the convs), so it reports honest dense MACs and
+    // must not claim sparse execution.
     const nn::LayerStepReport &fc = reports[4];
     EXPECT_FALSE(fc.sparseExecuted);
     EXPECT_EQ(fc.fwMacs, 8 * 12 * 4);
     EXPECT_EQ(fc.bwDataMacs, fc.fwMacs);
     EXPECT_EQ(fc.bwWeightMacs, fc.fwMacs);
+}
+
+TEST(StepObserver, SparseFcReportsMeasuredSkippedMacs)
+{
+    // With the fc layer on the CSB backend and some of its weights
+    // pruned, its report must carry the executors' measured tallies:
+    // strictly below dense in every phase (the mask skip), with the
+    // backward phases additionally under the forward count (operand
+    // zeros: dy carries softmax gradients — dense — but the
+    // GlobalAvgPool input behind two ReLUs has measured zeros).
+    nn::Network net;
+    buildNet(net, kernels::KernelBackend::kSparse, 19);
+    auto *fc_layer = dynamic_cast<nn::Linear *>(
+        net.layer(net.size() - 1));
+    ASSERT_NE(fc_layer, nullptr);
+    fc_layer->setBackend(kernels::KernelBackend::kSparse);
+    Tensor &w = fc_layer->weight().value;
+    for (int64_t i = 0; i < w.numel(); i += 2)
+        w.at(i) = 0.0f;   // 50% fc sparsity
+
+    auto splits = blobSplits();
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batchSize = 8;
+    nn::Sgd opt(0.01f);
+    std::vector<nn::StepTelemetry> seen;
+    trainNetwork(net, opt, splits.first, splits.second, tc,
+                 [&seen](const nn::StepTelemetry &t) {
+                     seen.push_back(t);
+                 });
+    ASSERT_FALSE(seen.empty());
+
+    const nn::LayerStepReport &fc = seen.front().reports.back();
+    ASSERT_EQ(fc.kind, nn::LayerStepReport::Kind::Linear);
+    EXPECT_TRUE(fc.hasMacs);
+    EXPECT_TRUE(fc.sparseExecuted);
+    const int64_t dense = fc.batch * fc.K * fc.C;
+    EXPECT_GT(fc.fwMacs, 0);
+    EXPECT_LT(fc.fwMacs, dense);
+    EXPECT_GT(fc.bwDataMacs, 0);
+    EXPECT_LT(fc.bwDataMacs, dense);
+    EXPECT_GT(fc.bwWeightMacs, 0);
+    EXPECT_LE(fc.bwWeightMacs, fc.fwMacs);
+    // Half the weights are pruned and frozen: the fc mask must still
+    // be ~50% dense after the step (kSparse gives pruned weights no
+    // gradient, so SGD cannot revive them).
+    EXPECT_LT(fc.mask.density(), 0.75);
 }
 
 TEST(WorkloadTrace, MeasuredMacsOnlyTrustedFromSparseExecutors)
@@ -204,6 +253,182 @@ TEST(WorkloadTrace, MeasuredMacsOnlyTrustedFromSparseExecutors)
         acc.evaluateTrace(sparse_trace, 0);
     EXPECT_DOUBLE_EQ(sparse_traced.fw.macs,
                      static_cast<double>(skipped_macs));
+}
+
+TEST(WorkloadTrace, MeasuredFcMacsFlowIntoTraceDrivenEvaluation)
+{
+    // Same routing contract as the conv test above, for fc layers:
+    // a Linear traced from the CSB executors (sparseExecuted=true)
+    // must have its measured counts consumed verbatim by
+    // evaluateTrace on a sparse config, while a dense-traced fc and
+    // the dense baseline keep the modelled estimate.
+    sparse::SparsityMask mask = sparse::SparsityMask::dense(16, 32, 1, 1);
+    for (size_t i = 0; i < mask.bits.size(); i += 2)
+        mask.bits[i] = 0;   // density exactly 0.5
+
+    auto makeTelemetry = [&mask](bool sparse_executed, int64_t macs) {
+        nn::StepTelemetry t;
+        t.epoch = 0;
+        t.step = 0;
+        t.batchSize = 4;
+        nn::LayerStepReport r;
+        r.layerName = "fc";
+        r.kind = nn::LayerStepReport::Kind::Linear;
+        r.batch = 4;
+        r.K = 16;
+        r.C = 32;
+        r.hasMacs = true;
+        r.sparseExecuted = sparse_executed;
+        r.fwMacs = macs;
+        r.bwDataMacs = macs;
+        r.bwWeightMacs = macs;
+        r.hasMask = true;
+        r.mask = mask;
+        r.inputDensity = 1.0;
+        t.reports.push_back(std::move(r));
+        return t;
+    };
+    const int64_t dense_macs = 4 * 16 * 32;
+    const arch::Accelerator acc = arch::Accelerator::procrustes();
+    const arch::Accelerator baseline =
+        arch::Accelerator::denseBaseline();
+
+    // Dense-traced fc: modelled estimate (dense * weight density).
+    arch::WorkloadTrace dense_trace;
+    dense_trace.observe(makeTelemetry(false, dense_macs));
+    EXPECT_EQ(dense_trace.epoch(0).layers[0].shape.type,
+              arch::LayerType::FullyConnected);
+    const arch::NetworkCost dense_traced =
+        acc.evaluateTrace(dense_trace, 0);
+    EXPECT_NEAR(dense_traced.fw.macs, 0.5 * dense_macs,
+                1e-6 * dense_macs);
+
+    // Sparse-traced fc: the executors' count, verbatim, in every
+    // phase.
+    arch::WorkloadTrace sparse_trace;
+    const int64_t skipped_macs = 777;
+    sparse_trace.observe(makeTelemetry(true, skipped_macs));
+    EXPECT_TRUE(sparse_trace.epoch(0).layers[0].sparseExecuted);
+    const arch::NetworkCost sparse_traced =
+        acc.evaluateTrace(sparse_trace, 0);
+    EXPECT_DOUBLE_EQ(sparse_traced.fw.macs,
+                     static_cast<double>(skipped_macs));
+    EXPECT_DOUBLE_EQ(sparse_traced.bw.macs,
+                     static_cast<double>(skipped_macs));
+    EXPECT_DOUBLE_EQ(sparse_traced.wu.macs,
+                     static_cast<double>(skipped_macs));
+
+    // The dense baseline never uses measured counts, whatever the
+    // trace says.
+    const arch::NetworkCost baseline_traced =
+        baseline.evaluateTrace(sparse_trace, 0);
+    EXPECT_NE(baseline_traced.fw.macs,
+              static_cast<double>(skipped_macs));
+}
+
+TEST(WorkloadTrace, RecordsEpochFinalCompressedWeightBytes)
+{
+    // Synthetic telemetry: the compressed/dense weight footprints are
+    // last-writer-wins per epoch (like the mask) and sum across
+    // layers in the epoch summary.
+    sparse::SparsityMask mask = sparse::SparsityMask::dense(2, 2, 3, 3);
+    auto makeTelemetry = [&mask](int64_t step, int64_t csb_bytes) {
+        nn::StepTelemetry t;
+        t.epoch = 0;
+        t.step = step;
+        t.batchSize = 4;
+        nn::LayerStepReport r;
+        r.layerName = "conv";
+        r.kind = nn::LayerStepReport::Kind::Conv;
+        r.batch = 4;
+        r.K = 2;
+        r.C = 2;
+        r.R = 3;
+        r.S = 3;
+        r.P = 4;
+        r.Q = 4;
+        r.hasMacs = true;
+        r.sparseExecuted = true;
+        r.fwMacs = 10;
+        r.bwDataMacs = 10;
+        r.bwWeightMacs = 10;
+        r.hasMask = true;
+        r.mask = mask;
+        r.hasWeightBytes = true;
+        r.csbWeightBytes = csb_bytes;
+        r.denseWeightBytes = 2 * 2 * 3 * 3 * 4;
+        t.reports.push_back(std::move(r));
+        return t;
+    };
+    arch::WorkloadTrace trace;
+    trace.observe(makeTelemetry(0, 100));
+    trace.observe(makeTelemetry(1, 80));   // pruning shrank the encode
+    const arch::EpochTrace &e = trace.epoch(0);
+    EXPECT_EQ(e.layers[0].csbWeightBytes, 80);   // epoch-final value
+    EXPECT_EQ(e.layers[0].denseWeightBytes, 2 * 2 * 3 * 3 * 4);
+    EXPECT_EQ(e.totalCsbWeightBytes(), 80);
+    EXPECT_EQ(e.totalDenseWeightBytes(), 2 * 2 * 3 * 3 * 4);
+}
+
+TEST(WorkloadTrace, MeasuredCompressedBytesMatchFinalWeightEncode)
+{
+    // End to end: after a pruned sparse training run, the last
+    // epoch's recorded footprint must equal a fresh CSB encode of the
+    // network's final weights — same mask snapshot, same byte count.
+    nn::Network net;
+    buildNet(net, kernels::KernelBackend::kSparse, 23);
+    auto *fc_layer = dynamic_cast<nn::Linear *>(
+        net.layer(net.size() - 1));
+    ASSERT_NE(fc_layer, nullptr);
+    fc_layer->setBackend(kernels::KernelBackend::kSparse);
+    // Prune half of every trainable layer so compression has bite.
+    for (size_t i = 0; i < net.size(); ++i) {
+        nn::Layer *l = net.layer(i);
+        Tensor *w = nullptr;
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(l))
+            w = &conv->weight().value;
+        else if (auto *fc = dynamic_cast<nn::Linear *>(l))
+            w = &fc->weight().value;
+        if (!w)
+            continue;
+        for (int64_t j = 0; j < w->numel(); j += 2)
+            w->at(j) = 0.0f;
+    }
+
+    auto splits = blobSplits();
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batchSize = 8;
+    nn::Sgd opt(0.05f);
+    arch::WorkloadTrace trace;
+    trainNetwork(net, opt, splits.first, splits.second, tc,
+                 trace.observer());
+
+    const arch::EpochTrace &last = trace.lastEpoch();
+    ASSERT_EQ(last.layers.size(), 3u);   // conv1, conv2, fc
+    int64_t expect_csb = 0;
+    int64_t expect_dense = 0;
+    for (size_t i = 0; i < net.size(); ++i) {
+        nn::Layer *l = net.layer(i);
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(l)) {
+            expect_csb += sparse::CsbTensor::encodeConvFilters(
+                              conv->weight().value)
+                              .totalBytes();
+            expect_dense += sparse::CsbTensor::denseBytes(
+                conv->weight().value.shape());
+        } else if (auto *fc = dynamic_cast<nn::Linear *>(l)) {
+            expect_csb += sparse::CsbTensor::encodeMatrix(
+                              fc->weight().value,
+                              nn::Linear::kCsbBlockSide)
+                              .totalBytes();
+            expect_dense += sparse::CsbTensor::denseBytes(
+                fc->weight().value.shape());
+        }
+    }
+    EXPECT_EQ(last.totalCsbWeightBytes(), expect_csb);
+    EXPECT_EQ(last.totalDenseWeightBytes(), expect_dense);
+    // Half-pruned weights must actually compress below dense storage.
+    EXPECT_LT(last.totalCsbWeightBytes(), last.totalDenseWeightBytes());
 }
 
 TEST(WorkloadTrace, AggregatesEpochsAndBuildsMeasuredModel)

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Sanity-check the JSON artifacts emitted by the bench targets.
+
+The bench JSON is hand-printed with fprintf, so a malformed escape or
+a missing field ships silently unless something parses it back. This
+checker validates that BENCH_kernels.json / BENCH_cosim.json are
+well-formed JSON and carry the schema keys EXPERIMENTS.md documents
+(including the host block that makes single-core numbers
+interpretable). Stdlib only — no third-party dependencies.
+
+Usage:
+    check_bench_schema.py kernels BENCH_kernels.json
+    check_bench_schema.py cosim BENCH_cosim.json
+"""
+
+import json
+import sys
+
+HOST_KEYS = {"hardware_concurrency", "threads_used", "single_core"}
+
+KERNELS_TOP_KEYS = {"version", "mode", "threads", "host", "layers",
+                    "fc_layers", "summary"}
+KERNELS_LAYER_KEYS = {
+    "net", "layer", "N", "C", "K", "kernel", "stride", "pad", "in_hw",
+    "macs", "naive_fwd_ms", "gemm_fwd_ms", "fwd_speedup",
+    "naive_bwd_ms", "gemm_bwd_ms", "bwd_speedup", "gemm_fwd_ms_1t",
+    "gemm_bwd_ms_1t", "thread_fwd_speedup", "thread_bwd_speedup",
+    "sparse_fwd_ms", "sparse_density",
+}
+KERNELS_FC_KEYS = {
+    "net", "layer", "N", "in_features", "out_features", "gemm_fwd_ms",
+    "gemm_bwd_ms", "sparse_fc_fwd_ms", "sparse_fc_bwd_data_ms",
+    "sparse_fc_bwd_weight_ms", "sparse_density", "fw_mac_ratio",
+    "bw_data_mac_ratio", "bw_weight_mac_ratio",
+}
+KERNELS_SUMMARY_KEYS = {
+    "geomean_fwd_speedup", "geomean_bwd_speedup", "min_fwd_speedup",
+    "geomean_thread_fwd_speedup", "geomean_thread_bwd_speedup",
+}
+KERNELS_VERSION = 4
+
+COSIM_TOP_KEYS = {"version", "mode", "host", "config", "epochs"}
+COSIM_CONFIG_KEYS = {"epochs", "batch", "backend", "target_sparsity"}
+COSIM_EPOCH_KEYS = {
+    "epoch", "train_loss", "val_accuracy", "weight_density",
+    "iact_density", "measured_macs_per_step", "measured_fw_macs",
+    "measured_bw_data_macs", "measured_bw_weight_macs",
+    "csb_weight_bytes", "dense_weight_bytes", "procrustes_cycles",
+    "procrustes_energy_j", "dense_cycles", "dense_energy_j", "speedup",
+    "energy_ratio",
+}
+COSIM_VERSION = 2
+
+
+def fail(msg):
+    print(f"schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require_keys(obj, keys, where):
+    missing = keys - obj.keys()
+    if missing:
+        fail(f"{where} is missing keys: {sorted(missing)}")
+
+
+def check_host(doc, where):
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        fail(f"{where} has no host block")
+    require_keys(host, HOST_KEYS, f"{where} host block")
+
+
+def check_version(doc, expected, where):
+    if doc.get("version") != expected:
+        fail(f"{where} version is {doc.get('version')!r}, "
+             f"expected {expected}")
+
+
+def check_kernels(doc):
+    require_keys(doc, KERNELS_TOP_KEYS, "BENCH_kernels.json")
+    check_version(doc, KERNELS_VERSION, "BENCH_kernels.json")
+    check_host(doc, "BENCH_kernels.json")
+    layers = doc["layers"]
+    if not isinstance(layers, list) or not layers:
+        fail("layers must be a non-empty array")
+    for i, layer in enumerate(layers):
+        require_keys(layer, KERNELS_LAYER_KEYS, f"layers[{i}]")
+    fc_layers = doc["fc_layers"]
+    if not isinstance(fc_layers, list) or not fc_layers:
+        fail("fc_layers must be a non-empty array")
+    for i, layer in enumerate(fc_layers):
+        require_keys(layer, KERNELS_FC_KEYS, f"fc_layers[{i}]")
+        for ratio in ("fw_mac_ratio", "bw_data_mac_ratio",
+                      "bw_weight_mac_ratio"):
+            v = layer[ratio]
+            if not 0.0 <= v <= 1.0:
+                fail(f"fc_layers[{i}].{ratio} = {v} outside [0, 1]")
+    require_keys(doc["summary"], KERNELS_SUMMARY_KEYS, "summary")
+
+
+def check_cosim(doc):
+    require_keys(doc, COSIM_TOP_KEYS, "BENCH_cosim.json")
+    check_version(doc, COSIM_VERSION, "BENCH_cosim.json")
+    check_host(doc, "BENCH_cosim.json")
+    require_keys(doc["config"], COSIM_CONFIG_KEYS, "config")
+    epochs = doc["epochs"]
+    if not isinstance(epochs, list) or not epochs:
+        fail("epochs must be a non-empty array")
+    for i, epoch in enumerate(epochs):
+        require_keys(epoch, COSIM_EPOCH_KEYS, f"epochs[{i}]")
+        if epoch["csb_weight_bytes"] <= 0:
+            fail(f"epochs[{i}].csb_weight_bytes must be positive")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("kernels", "cosim"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[2], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[2]}: {e}")
+    if sys.argv[1] == "kernels":
+        check_kernels(doc)
+    else:
+        check_cosim(doc)
+    print(f"schema check OK: {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
