@@ -3,9 +3,12 @@
  * Co-simulation trajectory bench: trains the blob-image CNN with
  * gradual magnitude pruning on the CSB sparse backend, aggregates the
  * measured workload with a WorkloadTrace, and replays every epoch
- * through the Procrustes cost model and the dense training baseline.
- * Emits BENCH_cosim.json (schema documented in EXPERIMENTS.md) with
- * host information so single-core results are interpretable.
+ * through the Procrustes cost model and the dense training baseline —
+ * measured executed MACs, measured compressed weight bytes in the
+ * GLB/DRAM traffic terms, and balanced/unbalanced load-imbalance
+ * histograms replayed from the epoch-final masks. Emits
+ * BENCH_cosim.json v3 (schema documented in EXPERIMENTS.md) with host
+ * information so single-core results are interpretable.
  *
  * Usage: cosim_trajectory [--smoke] [--out PATH]
  *   --smoke   2 epochs on a smaller net (CI wiring check)
@@ -98,7 +101,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 2,\n");
+    std::fprintf(f, "  \"version\": 3,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     bench::emitHostJson(f);
     std::fprintf(f,
@@ -110,11 +113,15 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"epochs\": [\n");
 
     std::printf("epoch | val acc | w-dens | a-dens |   macs/step | "
-                "speedup | energy x\n");
+                "speedup | energy x | imb u->b\n");
     for (size_t e = 0; e < trace.epochCount(); ++e) {
         const arch::EpochTrace &et = trace.epoch(e);
-        const arch::NetworkCost sc = procrustes.evaluateTrace(trace, e);
+        arch::EpochImbalance imb;
+        const arch::NetworkCost sc =
+            procrustes.evaluateTrace(trace, e, &imb);
         const arch::NetworkCost dc = baseline.evaluateTrace(trace, e);
+        const arch::PhaseCost st = sc.total();
+        const arch::PhaseCost dt = dc.total();
         const double speedup = dc.totalCycles() / sc.totalCycles();
         const double eratio = dc.totalEnergyJ() / sc.totalEnergyJ();
         double fw = 0.0, bwd = 0.0, bww = 0.0;
@@ -136,21 +143,36 @@ main(int argc, char **argv)
             "\"dense_weight_bytes\": %lld,\n"
             "     \"procrustes_cycles\": %.6g, "
             "\"procrustes_energy_j\": %.6g,\n"
+            "     \"procrustes_glb_energy_j\": %.6g, "
+            "\"procrustes_dram_energy_j\": %.6g,\n"
             "     \"dense_cycles\": %.6g, \"dense_energy_j\": %.6g,\n"
+            "     \"dense_glb_energy_j\": %.6g, "
+            "\"dense_dram_energy_j\": %.6g,\n"
+            "     \"imbalance_unbalanced_mean\": %.6f, "
+            "\"imbalance_unbalanced_max\": %.6f,\n"
+            "     \"imbalance_unbalanced_frac_above_50\": %.6f,\n"
+            "     \"imbalance_balanced_mean\": %.6f, "
+            "\"imbalance_balanced_max\": %.6f,\n"
+            "     \"imbalance_balanced_frac_above_10\": %.6f,\n"
             "     \"speedup\": %.3f, \"energy_ratio\": %.3f}%s\n",
             e, history[e].trainLoss, history[e].valAccuracy,
             et.meanWeightDensity(), et.meanIactDensity(),
             et.totalMacsPerStep(), fw, bwd, bww,
             static_cast<long long>(et.totalCsbWeightBytes()),
             static_cast<long long>(et.totalDenseWeightBytes()),
-            sc.totalCycles(), sc.totalEnergyJ(), dc.totalCycles(),
-            dc.totalEnergyJ(), speedup, eratio,
+            sc.totalCycles(), sc.totalEnergyJ(), st.glbEnergyJ,
+            st.dramEnergyJ, dc.totalCycles(), dc.totalEnergyJ(),
+            dt.glbEnergyJ, dt.dramEnergyJ, imb.unbalanced.meanOverhead,
+            imb.unbalanced.maxOverhead, imb.unbalanced.fractionAbove(0.5),
+            imb.balanced.meanOverhead, imb.balanced.maxOverhead,
+            imb.balanced.fractionAbove(0.1), speedup, eratio,
             e + 1 < trace.epochCount() ? "," : "");
         std::printf("%5zu |   %.3f |  %.3f |  %.3f | %11.0f | %6.2fx | "
-                    "%6.2fx\n",
+                    "%6.2fx | %.3f->%.3f\n",
                     e, history[e].valAccuracy, et.meanWeightDensity(),
                     et.meanIactDensity(), et.totalMacsPerStep(), speedup,
-                    eratio);
+                    eratio, imb.unbalanced.meanOverhead,
+                    imb.balanced.meanOverhead);
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -12,7 +12,10 @@
  * measured workload is replayed through the Procrustes cost model and
  * the dense baseline. The output is a per-epoch JSON trajectory of
  * accuracy, sparsity, and trace-driven accelerator cycles + energy —
- * measured densities, not hash-jitter, flowing into the CostModel.
+ * measured densities, not hash-jitter, flowing into the CostModel,
+ * measured compressed weight bytes in the GLB/DRAM traffic terms, and
+ * per-epoch load-imbalance histograms (balanced vs unbalanced)
+ * replayed straight from the epoch-final masks.
  */
 
 #include <cstdio>
@@ -104,7 +107,9 @@ main()
                 "\n  \"epochs\": [\n");
     for (size_t e = 0; e < trace.epochCount(); ++e) {
         const arch::EpochTrace &et = trace.epoch(e);
-        const arch::NetworkCost sparse_cost = procrustes.evaluateTrace(trace, e);
+        arch::EpochImbalance imb;
+        const arch::NetworkCost sparse_cost =
+            procrustes.evaluateTrace(trace, e, &imb);
         const arch::NetworkCost dense_cost = baseline.evaluateTrace(trace, e);
         std::printf(
             "    {\"epoch\": %zu, \"train_loss\": %.4f, "
@@ -114,12 +119,15 @@ main()
             "     \"procrustes_cycles\": %.4g, "
             "\"procrustes_energy_j\": %.4g,\n"
             "     \"dense_cycles\": %.4g, \"dense_energy_j\": %.4g,\n"
+            "     \"imbalance_mean_unbalanced\": %.4f, "
+            "\"imbalance_mean_balanced\": %.4f,\n"
             "     \"speedup\": %.2f, \"energy_ratio\": %.2f}%s\n",
             e, history[e].trainLoss, history[e].valAccuracy,
             et.meanWeightDensity(), et.meanIactDensity(),
             et.totalMacsPerStep(), sparse_cost.totalCycles(),
             sparse_cost.totalEnergyJ(), dense_cost.totalCycles(),
-            dense_cost.totalEnergyJ(),
+            dense_cost.totalEnergyJ(), imb.unbalanced.meanOverhead,
+            imb.balanced.meanOverhead,
             dense_cost.totalCycles() / sparse_cost.totalCycles(),
             dense_cost.totalEnergyJ() / sparse_cost.totalEnergyJ(),
             e + 1 < trace.epochCount() ? "," : "");

@@ -51,8 +51,8 @@ Accelerator::evaluateLayer(const LayerShape &layer,
 }
 
 NetworkCost
-Accelerator::evaluateTrace(const WorkloadTrace &trace,
-                           size_t epoch_idx) const
+Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
+                           EpochImbalance *imbalance) const
 {
     const EpochTrace &e = trace.epoch(epoch_idx);
     PROCRUSTES_ASSERT(e.batchSize > 0, "trace has no batch size");
@@ -72,15 +72,42 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace,
         // both keep the modelled estimate.
         const bool use_measured =
             model_.options().sparse && l.sparseExecuted;
-        cost.fw += model_.evaluatePhase(
-            net.layers[i], Phase::Forward, mapping_, profiles[i],
-            e.batchSize, use_measured ? l.fwMacsPerStep() : -1.0);
-        cost.bw += model_.evaluatePhase(
-            net.layers[i], Phase::Backward, mapping_, profiles[i],
-            e.batchSize, use_measured ? l.bwDataMacsPerStep() : -1.0);
-        cost.wu += model_.evaluatePhase(
-            net.layers[i], Phase::WeightUpdate, mapping_, profiles[i],
-            e.batchSize, use_measured ? l.bwWeightMacsPerStep() : -1.0);
+        // The weight image's measured byte counts apply regardless of
+        // which backend executed: they describe what *this machine*
+        // would store and stream for the run's real mask (dense
+        // backends still record a telemetry-only encode). The cost
+        // model picks the compressed or dense figure to match its own
+        // configuration.
+        MeasuredLayerStats fw, bw, wu;
+        if (l.csbWeightBytes > 0) {
+            fw.csbWeightBytes = static_cast<double>(l.csbWeightBytes);
+            bw.csbWeightBytes = fw.csbWeightBytes;
+            wu.csbWeightBytes = fw.csbWeightBytes;
+        }
+        if (l.denseWeightBytes > 0) {
+            fw.denseWeightBytes =
+                static_cast<double>(l.denseWeightBytes);
+            bw.denseWeightBytes = fw.denseWeightBytes;
+            wu.denseWeightBytes = fw.denseWeightBytes;
+        }
+        if (use_measured) {
+            fw.macs = l.fwMacsPerStep();
+            bw.macs = l.bwDataMacsPerStep();
+            wu.macs = l.bwWeightMacsPerStep();
+        }
+        cost.fw += model_.evaluatePhase(net.layers[i], Phase::Forward,
+                                        mapping_, profiles[i],
+                                        e.batchSize, fw);
+        cost.bw += model_.evaluatePhase(net.layers[i], Phase::Backward,
+                                        mapping_, profiles[i],
+                                        e.batchSize, bw);
+        cost.wu += model_.evaluatePhase(net.layers[i],
+                                        Phase::WeightUpdate, mapping_,
+                                        profiles[i], e.batchSize, wu);
+    }
+    if (imbalance) {
+        *imbalance = measuredEpochImbalance(
+            e, mapping_, model_.config(), model_.options().balance);
     }
     return cost;
 }

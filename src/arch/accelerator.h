@@ -16,6 +16,7 @@
 
 #include "arch/cost_model.h"
 #include "arch/model_zoo.h"
+#include "arch/trace_imbalance.h"
 #include "arch/workload_trace.h"
 
 namespace procrustes {
@@ -74,9 +75,23 @@ class Accelerator
      * Both Conv2d and Linear provide measured counts under
      * KernelBackend::kSparse; the dense baseline and layers traced on
      * a dense backend keep the modelled MAC accounting.
+     *
+     * The GLB/DRAM weight-traffic terms likewise run from measurement:
+     * each layer's epoch-final compressed footprint
+     * (LayerTrace::csbWeightBytes, i.e. CsbTensor::totalBytes of the
+     * real encode) replaces the density-derived CSB size on
+     * sparsity-exploiting configurations, and the measured dense
+     * footprint feeds the dense baseline.
+     *
+     * @param imbalance when non-null, receives the epoch's
+     *        balanced/unbalanced load-imbalance histograms replayed
+     *        from the measured masks and activation densities
+     *        (arch/trace_imbalance.h) under this accelerator's mapping
+     *        and balancing policy, all three phases pooled.
      */
     NetworkCost evaluateTrace(const WorkloadTrace &trace,
-                              size_t epoch_idx) const;
+                              size_t epoch_idx,
+                              EpochImbalance *imbalance = nullptr) const;
 
     const CostModel &costModel() const { return model_; }
     MappingKind mapping() const { return mapping_; }

@@ -20,6 +20,36 @@ weightTileChunk(const ArrayConfig &cfg, const LayerShape &layer,
     return std::min(by_rf, by_need);
 }
 
+std::vector<std::vector<ChunkTileRef>>
+weightChunkWaves(const ArrayConfig &cfg, const LayerShape &layer,
+                 int64_t ext0, int64_t ext1)
+{
+    const int64_t a0 = cfg.rows;
+    const int64_t a1 = cfg.cols;
+    const int64_t g = weightTileChunk(cfg, layer, ext1, a1);
+    const int64_t stride1 = a1 * g;
+
+    std::vector<std::vector<ChunkTileRef>> waves;
+    for (int64_t b0 = 0; b0 < ext0; b0 += a0) {
+        const int64_t n0 = std::min(a0, ext0 - b0);
+        for (int64_t b1 = 0; b1 < ext1; b1 += stride1) {
+            std::vector<ChunkTileRef> tiles;
+            for (int64_t i = 0; i < n0; ++i) {
+                for (int64_t j = 0; j < a1; ++j) {
+                    const int64_t base = b1 + j * g;
+                    if (base >= ext1)
+                        break;
+                    tiles.push_back(ChunkTileRef{
+                        b0 + i, base, std::min(g, ext1 - base)});
+                }
+            }
+            if (!tiles.empty())
+                waves.push_back(std::move(tiles));
+        }
+    }
+    return waves;
+}
+
 PhaseCost &
 PhaseCost::operator+=(const PhaseCost &o)
 {
@@ -221,9 +251,8 @@ CostModel::chunkedWeightWaves(const LayerShape &layer, Phase phase,
     // the summed density of its chunk — coarser granularity than a
     // single kernel, which is what keeps the Figure 5 overheads in
     // the tens of percent rather than multiples.
+    (void)phase;   // all phases tile weights identically here
     const auto dims = spatialDims(mapping);
-    const int64_t a0 = cfg_.rows;
-    const int64_t a1 = cfg_.cols;
     const int64_t ext0 = dimExtent(layer, dims[0], batch);
     const int64_t ext1 = dimExtent(layer, dims[1], batch);
     const double dense_macs =
@@ -231,44 +260,26 @@ CostModel::chunkedWeightWaves(const LayerShape &layer, Phase phase,
         static_cast<double>(layer.macsPerSample());
     const double per_index =
         dense_macs / static_cast<double>(ext0 * ext1);
-    const int64_t g = weightTileChunk(cfg_, layer, ext1, a1);
-    const int64_t stride1 = a1 * g;
 
     std::vector<WaveStats> waves;
-    for (int64_t b0 = 0; b0 < ext0; b0 += a0) {
-        const int64_t n0 = std::min(a0, ext0 - b0);
-        for (int64_t b1 = 0; b1 < ext1; b1 += stride1) {
-            WaveStats ws;
-            double worst = 0.0;
-            double sum = 0.0;
-            int64_t active = 0;
-            for (int64_t i = 0; i < n0; ++i) {
-                for (int64_t j = 0; j < a1; ++j) {
-                    const int64_t base = b1 + j * g;
-                    if (base >= ext1)
-                        break;
-                    const int64_t count =
-                        std::min(g, ext1 - base);
-                    double work = 0.0;
-                    for (int64_t t = 0; t < count; ++t) {
-                        work += per_index *
-                                pairDensity(profile,
-                                            Operand::Weights, dims[0],
-                                            b0 + i, dims[1], base + t);
-                    }
-                    worst = std::max(worst, work);
-                    sum += work;
-                    ++active;
-                }
+    for (const auto &tiles : weightChunkWaves(cfg_, layer, ext0, ext1)) {
+        WaveStats ws;
+        double worst = 0.0;
+        double sum = 0.0;
+        for (const ChunkTileRef &t : tiles) {
+            double work = 0.0;
+            for (int64_t s = 0; s < t.chunkCount; ++s) {
+                work += per_index *
+                        pairDensity(profile, Operand::Weights, dims[0],
+                                    t.index0, dims[1], t.chunkBase + s);
             }
-            if (!active)
-                continue;
-            ws.meanWork = sum / static_cast<double>(active);
-            ws.maxWork = opts_.balance == BalanceMode::FullChip
-                             ? ws.meanWork
-                             : worst;
-            waves.push_back(ws);
+            worst = std::max(worst, work);
+            sum += work;
         }
+        ws.meanWork = sum / static_cast<double>(tiles.size());
+        ws.maxWork = opts_.balance == BalanceMode::FullChip ? ws.meanWork
+                                                            : worst;
+        waves.push_back(ws);
     }
     return waves;
 }
@@ -296,15 +307,41 @@ CostModel::computeLatency(const LayerShape &layer, Phase phase,
 }
 
 double
+CostModel::measuredWeightWords(const MeasuredLayerStats &measured) const
+{
+    if (!opts_.sparse)
+        return measured.denseWeightBytes >= 0.0
+                   ? measured.denseWeightBytes / 4.0
+                   : -1.0;
+    // Ideal mode assumes a zero-overhead format; the measured bytes
+    // include the real CSB mask/pointer overheads, so the modelled
+    // (overhead-free) estimate stands.
+    if (opts_.ideal)
+        return -1.0;
+    return measured.csbWeightBytes >= 0.0
+               ? measured.csbWeightBytes / 4.0
+               : -1.0;
+}
+
+double
 CostModel::storedWords(const LayerShape &layer, Phase phase, Operand op,
-                       const LayerSparsityProfile &profile,
-                       int64_t batch) const
+                       const LayerSparsityProfile &profile, int64_t batch,
+                       const MeasuredLayerStats &measured) const
 {
     const double vol = static_cast<double>(
         operandVolume(layer, op, batch));
     const bool compressed =
         opts_.sparse && op == sparseOperand(phase) &&
         op != outputOperand(phase);
+    if (op == Operand::Weights) {
+        // Measured weight image (trace-driven mode): the byte count
+        // the trainer actually encoded replaces the density-derived
+        // estimate, compressed or dense as this configuration streams
+        // it (measuredWeightWords declines in ideal mode).
+        const double words = measuredWeightWords(measured);
+        if (words >= 0.0)
+            return words;
+    }
     if (!compressed)
         return vol;
     const double density = op == Operand::Weights
@@ -328,8 +365,8 @@ CostModel::storedWords(const LayerShape &layer, Phase phase, Operand op,
 double
 CostModel::glbAccesses(const LayerShape &layer, Phase phase,
                        MappingKind mapping,
-                       const LayerSparsityProfile &profile,
-                       int64_t batch) const
+                       const LayerSparsityProfile &profile, int64_t batch,
+                       const MeasuredLayerStats &measured) const
 {
     const auto dims = spatialDims(mapping);
     const Operand out = outputOperand(phase);
@@ -362,7 +399,7 @@ CostModel::glbAccesses(const LayerShape &layer, Phase phase,
             once_traffic += vol;
         } else {
             const double words =
-                storedWords(layer, phase, op, profile, batch);
+                storedWords(layer, phase, op, profile, batch, measured);
             spatial_traffic += words * refetch;
             once_traffic += words;
             smallest_input = std::min(smallest_input, words);
@@ -383,8 +420,8 @@ CostModel::glbAccesses(const LayerShape &layer, Phase phase,
 
 double
 CostModel::dramWords(const LayerShape &layer, Phase phase,
-                     const LayerSparsityProfile &profile,
-                     int64_t batch) const
+                     const LayerSparsityProfile &profile, int64_t batch,
+                     const MeasuredLayerStats &measured) const
 {
     const double w_dense = static_cast<double>(
         operandVolume(layer, Operand::Weights, batch));
@@ -393,12 +430,18 @@ CostModel::dramWords(const LayerShape &layer, Phase phase,
     const double y_dense = static_cast<double>(
         operandVolume(layer, Operand::Oacts, batch));
 
-    // Compressed views (CSB) when sparsity is exploited.
+    // Compressed views (CSB) when sparsity is exploited. The measured
+    // weight image — the byte count of the trainer's real encode —
+    // overrides the density-derived estimate when the trace supplies
+    // it (trace-driven mode).
     const double mask_over = opts_.ideal ? 0.0 : 1.0 / 32.0;
+    const double w_measured = measuredWeightWords(measured);
     const double w_stored =
-        opts_.sparse
-            ? w_dense * profile.weightDensity() + w_dense * mask_over
-            : w_dense;
+        w_measured >= 0.0
+            ? w_measured
+            : (opts_.sparse ? w_dense * profile.weightDensity() +
+                                  w_dense * mask_over
+                            : w_dense);
     const double x_comp =
         x_dense * profile.iactDensity() + x_dense * mask_over;
 
@@ -427,7 +470,8 @@ PhaseCost
 CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
                          MappingKind mapping,
                          const LayerSparsityProfile &profile,
-                         int64_t batch, double measured_macs) const
+                         int64_t batch,
+                         const MeasuredLayerStats &measured) const
 {
     PROCRUSTES_ASSERT(batch > 0, "batch must be positive");
     PhaseCost cost;
@@ -435,13 +479,14 @@ CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
     const double dense_macs =
         static_cast<double>(batch) *
         static_cast<double>(layer.macsPerSample());
-    cost.macs = measured_macs >= 0.0
-                    ? measured_macs
+    cost.macs = measured.macs >= 0.0
+                    ? measured.macs
                     : dense_macs * effectiveDensity(phase, profile);
 
     cost.computeCycles =
         computeLatency(layer, phase, mapping, profile, batch);
-    const double dwords = dramWords(layer, phase, profile, batch);
+    const double dwords =
+        dramWords(layer, phase, profile, batch, measured);
     cost.dramCycles = dwords / cfg_.dramWordsPerCycle();
     cost.cycles = opts_.dramBound
                       ? std::max(cost.computeCycles, cost.dramCycles)
@@ -450,8 +495,9 @@ CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
     cost.macEnergyJ = cost.macs * cfg_.macPj * 1e-12;
     cost.rfEnergyJ =
         cost.macs * cfg_.rfAccessesPerMac * cfg_.rfAccessPj * 1e-12;
-    cost.glbEnergyJ = glbAccesses(layer, phase, mapping, profile, batch) *
-                      cfg_.glbAccessPj * 1e-12;
+    cost.glbEnergyJ =
+        glbAccesses(layer, phase, mapping, profile, batch, measured) *
+        cfg_.glbAccessPj * 1e-12;
     cost.dramEnergyJ = dwords * cfg_.dramAccessPj * 1e-12;
     return cost;
 }

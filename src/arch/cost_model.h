@@ -24,7 +24,12 @@
  *  within a wave is counted once, which is exactly the spatial-reuse
  *  advantage the single-dimension flows preserve. Sparse weights add
  *  CSB overheads (1 mask bit per dense element plus a pointer per
- *  block); the ideal mode of Figure 1 drops them.
+ *  block); the ideal mode of Figure 1 drops them. In trace-driven
+ *  mode the density-derived CSB estimate is bypassed entirely: the
+ *  workload-trace pipeline supplies the byte count of the weight
+ *  image the trainer actually encoded (CsbTensor::totalBytes) and the
+ *  GLB/DRAM weight-traffic terms consume it verbatim
+ *  (MeasuredLayerStats below).
  */
 
 #ifndef PROCRUSTES_ARCH_COST_MODEL_H_
@@ -82,6 +87,61 @@ struct CostOptions
 int64_t weightTileChunk(const ArrayConfig &cfg, const LayerShape &layer,
                         int64_t ext, int64_t array_dim);
 
+/** One PE's tile of an RF-chunked weight-stationary wave. */
+struct ChunkTileRef
+{
+    int64_t index0 = 0;     //!< in-range index along the first dim
+    int64_t chunkBase = 0;  //!< first kernel of the chunk (second dim)
+    int64_t chunkCount = 0; //!< kernels in this PE's chunk
+};
+
+/**
+ * Per-wave tile geometry of the RF-chunked weight-stationary tiling
+ * (C,K-style mappings where both spatial dims index the weights):
+ * one inner vector per wave, one ChunkTileRef per active PE, in issue
+ * order. Shared by the modelled waves (CostModel::evaluatePhase) and
+ * the measured-mask replay (arch/trace_imbalance.h) so the two can
+ * never tile at different granularities.
+ */
+std::vector<std::vector<ChunkTileRef>>
+weightChunkWaves(const ArrayConfig &cfg, const LayerShape &layer,
+                 int64_t ext0, int64_t ext1);
+
+/**
+ * Measured per-layer facts that replace modelled estimates — the seam
+ * through which the workload-trace pipeline feeds the cost model. Any
+ * field left negative keeps the corresponding modelled estimate, so a
+ * default-constructed instance reproduces pure modelling.
+ */
+struct MeasuredLayerStats
+{
+    /**
+     * Executed MACs of the phase as tallied by the zero-skipping CSB
+     * executors. Replaces the density-estimated MAC count in the MAC /
+     * register-file energy accounting and the reported `macs`;
+     * wave-level latency still comes from the profile's density
+     * structure.
+     */
+    double macs = -1.0;
+
+    /**
+     * Compressed weight footprint in bytes (CsbTensor::totalBytes:
+     * packed values + mask bits + block pointers) as measured from the
+     * trainer's real encode. On a sparsity-exploiting non-ideal
+     * configuration this replaces the density-derived CSB size in the
+     * GLB/DRAM weight-traffic terms. The ideal mode (Figure 1) keeps
+     * its zero-overhead estimate: measured bytes include the format
+     * overhead the idealization assumes away.
+     */
+    double csbWeightBytes = -1.0;
+
+    /**
+     * Dense weight footprint in bytes (4 per position) — the image the
+     * dense baseline streams; consumed by non-sparse configurations.
+     */
+    double denseWeightBytes = -1.0;
+};
+
 /** Latency and energy of one (layer, phase) evaluation. */
 struct PhaseCost
 {
@@ -128,20 +188,16 @@ class CostModel
     /**
      * Evaluate one layer in one phase under one mapping.
      *
-     * @param measured_macs when >= 0, the phase's executed MACs as
-     *        measured by the functional executors (the workload-trace
-     *        pipeline feeds sparseConvMacCounts-derived numbers here).
-     *        They replace the density-estimated MAC count in the MAC /
-     *        register-file energy accounting and in the reported
-     *        `macs`; wave-level latency still comes from the profile's
-     *        density structure. Negative (default) keeps the modelled
-     *        estimate.
+     * @param measured measured quantities from the workload-trace
+     *        pipeline (executed MACs, compressed/dense weight bytes).
+     *        Each non-negative field replaces its modelled estimate;
+     *        the default instance keeps pure modelling.
      */
     PhaseCost evaluatePhase(const LayerShape &layer, Phase phase,
                             MappingKind mapping,
                             const LayerSparsityProfile &profile,
                             int64_t batch,
-                            double measured_macs = -1.0) const;
+                            const MeasuredLayerStats &measured = {}) const;
 
     /** Per-wave latency stats (drives Figures 5 and 13). */
     std::vector<WaveStats> waveStats(const LayerShape &layer, Phase phase,
@@ -184,17 +240,28 @@ class CostModel
     double glbAccesses(const LayerShape &layer, Phase phase,
                        MappingKind mapping,
                        const LayerSparsityProfile &profile,
-                       int64_t batch) const;
+                       int64_t batch,
+                       const MeasuredLayerStats &measured) const;
 
     /** DRAM words moved for the whole phase. */
     double dramWords(const LayerShape &layer, Phase phase,
-                     const LayerSparsityProfile &profile,
-                     int64_t batch) const;
+                     const LayerSparsityProfile &profile, int64_t batch,
+                     const MeasuredLayerStats &measured) const;
 
     /** Stored (GLB/DRAM) word count of an operand in this phase. */
     double storedWords(const LayerShape &layer, Phase phase, Operand op,
                        const LayerSparsityProfile &profile,
-                       int64_t batch) const;
+                       int64_t batch,
+                       const MeasuredLayerStats &measured) const;
+
+    /**
+     * Word count of the weight image this configuration streams:
+     * measured bytes when the trace supplies them (compressed for
+     * sparse non-ideal configurations, dense for the baseline),
+     * negative when no measurement applies and the modelled estimate
+     * must stand.
+     */
+    double measuredWeightWords(const MeasuredLayerStats &measured) const;
 
     ArrayConfig cfg_;
     CostOptions opts_;

@@ -42,6 +42,25 @@ collectOverheads(const NetworkModel &model,
     return overheads;
 }
 
+double
+waveOverhead(const std::vector<TileHalves> &tiles, BalanceMode balance,
+             bool cheap_ok)
+{
+    if (tiles.empty())
+        return 0.0;
+    const double mean = meanWork(tiles);
+    if (mean <= 0.0)
+        return 0.0;
+    double worst;
+    if (balance == BalanceMode::FullChip)
+        worst = mean;
+    else if (balance == BalanceMode::HalfTile && cheap_ok)
+        worst = rebalancedMax(tiles);
+    else
+        worst = unbalancedMax(tiles);
+    return worst / mean - 1.0;
+}
+
 ImbalanceHistogram
 buildHistogram(const std::vector<double> &overheads, int bins,
                double bin_width)

@@ -36,13 +36,28 @@ struct ImbalanceHistogram
 /**
  * Collect per-wave overheads for every layer of a network in one phase
  * under one mapping/balancing configuration. Waves whose workload is
- * uniform by construction report zero overhead.
+ * uniform by construction report zero overhead. Tile work comes from
+ * the profiles — synthetic jitter when they were built synthetically,
+ * measured statistics when they came from a WorkloadTrace; the
+ * mask-direct replay in arch/trace_imbalance.h skips the profile
+ * abstraction entirely.
  */
 std::vector<double>
 collectOverheads(const NetworkModel &model,
                  const std::vector<LayerSparsityProfile> &profiles,
                  Phase phase, MappingKind mapping, int64_t batch,
                  const ArrayConfig &cfg, BalanceMode balance);
+
+/**
+ * Execution overhead of one working set of half-split tiles under a
+ * balancing policy: slowest slot over the perfectly balanced latency,
+ * minus one. `cheap_ok` gates the half-tile pairing exactly as the
+ * cost model does (supportsCheapBalancing): a mapping that cannot
+ * rebalance on the simple interconnect falls back to unbalanced
+ * execution. Empty or zero-work working sets report zero overhead.
+ */
+double waveOverhead(const std::vector<TileHalves> &tiles,
+                    BalanceMode balance, bool cheap_ok);
 
 /** Bin overheads into a histogram with `bins` bins of `bin_width`. */
 ImbalanceHistogram buildHistogram(const std::vector<double> &overheads,

@@ -45,5 +45,15 @@ unbalancedMax(const std::vector<TileHalves> &tiles)
     return worst;
 }
 
+double
+meanWork(const std::vector<TileHalves> &tiles)
+{
+    PROCRUSTES_ASSERT(!tiles.empty(), "empty working set");
+    double sum = 0.0;
+    for (const TileHalves &t : tiles)
+        sum += t.total();
+    return sum / static_cast<double>(tiles.size());
+}
+
 } // namespace arch
 } // namespace procrustes

@@ -45,6 +45,9 @@ double rebalancedMax(const std::vector<TileHalves> &tiles);
 /** Maximum per-slot work without rebalancing. */
 double unbalancedMax(const std::vector<TileHalves> &tiles);
 
+/** Mean per-slot work — the perfectly balanced wave latency. */
+double meanWork(const std::vector<TileHalves> &tiles);
+
 } // namespace arch
 } // namespace procrustes
 

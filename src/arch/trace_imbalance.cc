@@ -1,0 +1,292 @@
+#include "arch/trace_imbalance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "arch/cost_model.h"
+#include "arch/dataflow.h"
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace procrustes {
+namespace arch {
+
+namespace {
+
+/** Measured mean density with an index wrapped into a vector, or the
+    scalar mean when no vector was measured (ragged epochs drop them). */
+double
+wrapped(const std::vector<double> &v, int64_t idx, double fallback)
+{
+    if (v.empty())
+        return fallback;
+    return v[static_cast<size_t>(idx) % v.size()];
+}
+
+/** Half-split work of one slice of the sparse operand along dim `d`. */
+TileHalves
+sliceWork(const LayerTrace &layer, Operand sp, Dim d, int64_t idx)
+{
+    const sparse::SparsityMask &mask = layer.mask;
+    TileHalves h;
+    if (sp == Operand::Weights) {
+        if (d == Dim::K) {
+            // One K-slice per PE, halved along C — the axis the
+            // half-tile balancer cuts (Figure 9).
+            const int64_t split = mask.C / 2;
+            if (mask.C <= 1) {
+                const double w = static_cast<double>(
+                    mask.tileNnz(idx, idx + 1, 0, mask.C));
+                h.first = w / 2.0;
+                h.second = w / 2.0;
+                return h;
+            }
+            h.first = static_cast<double>(
+                mask.tileNnz(idx, idx + 1, 0, split));
+            h.second = static_cast<double>(
+                mask.tileNnz(idx, idx + 1, split, mask.C));
+            return h;
+        }
+        if (d == Dim::C) {
+            const int64_t split = mask.K / 2;
+            if (mask.K <= 1) {
+                const double w = static_cast<double>(
+                    mask.tileNnz(0, mask.K, idx, idx + 1));
+                h.first = w / 2.0;
+                h.second = w / 2.0;
+                return h;
+            }
+            h.first = static_cast<double>(
+                mask.tileNnz(0, split, idx, idx + 1));
+            h.second = static_cast<double>(
+                mask.tileNnz(split, mask.K, idx, idx + 1));
+            return h;
+        }
+        PANIC("weights sliced along a non-weight dim");
+    }
+    if (d == Dim::N) {
+        // Measured per-sample halves (already split along C by the
+        // telemetry scan); fall back to an even split of the sample
+        // density, then to the scalar mean.
+        const double sample =
+            wrapped(layer.iacts.perSample, idx, layer.iacts.mean);
+        if (!layer.iacts.perSampleHalf.empty()) {
+            h.first = wrapped(layer.iacts.perSampleHalf, idx * 2,
+                              sample / 2.0);
+            h.second = wrapped(layer.iacts.perSampleHalf, idx * 2 + 1,
+                               sample / 2.0);
+            return h;
+        }
+        h.first = sample / 2.0;
+        h.second = sample / 2.0;
+        return h;
+    }
+    if (d == Dim::C) {
+        const double chan =
+            wrapped(layer.iacts.perChannel, idx, layer.iacts.mean);
+        h.first = chan / 2.0;
+        h.second = chan / 2.0;
+        return h;
+    }
+    PANIC("iacts sliced along an unsupported dim");
+}
+
+/** Work when both spatial dims index the sparse operand. */
+double
+pairWork(const LayerTrace &layer, Operand sp, Dim d0, int64_t i0,
+         Dim d1, int64_t i1)
+{
+    if (sp == Operand::Weights) {
+        // Only the C,K pairing can index weights in both dims.
+        const int64_t k = d0 == Dim::K ? i0 : i1;
+        const int64_t c = d0 == Dim::K ? i1 : i0;
+        return static_cast<double>(layer.mask.blockNnz(k, c));
+    }
+    // Activation pairings: ratio-combine the measured marginals (C,N);
+    // spatial dims have no per-location measurement, so they
+    // contribute the mean (uniform).
+    double work = 1.0;
+    bool any = false;
+    for (const auto &di : {std::make_pair(d0, i0), std::make_pair(d1, i1)}) {
+        if (di.first == Dim::N) {
+            work *= wrapped(layer.iacts.perSample, di.second,
+                            layer.iacts.mean);
+            any = true;
+        } else if (di.first == Dim::C) {
+            work *= wrapped(layer.iacts.perChannel, di.second,
+                            layer.iacts.mean);
+            any = true;
+        }
+    }
+    if (!any)
+        return layer.iacts.mean;
+    const double mean = std::max(layer.iacts.mean, 1e-9);
+    return clampd(work / mean, 0.0, 1.0);
+}
+
+} // namespace
+
+std::vector<std::vector<TileHalves>>
+measuredLayerWaves(const LayerTrace &layer, Phase phase,
+                   MappingKind mapping, const ArrayConfig &cfg,
+                   int64_t batch)
+{
+    const LayerShape &shape = layer.shape;
+    const auto dims = spatialDims(mapping);
+    const int64_t a0 = cfg.rows;
+    const int64_t a1 = cfg.cols;
+    const int64_t ext0 = dimExtent(shape, dims[0], batch);
+    const int64_t ext1 = dimExtent(shape, dims[1], batch);
+    const Operand sp = sparseOperand(phase);
+    const bool dep0 = dependsOn(sp, dims[0]);
+    const bool dep1 = dependsOn(sp, dims[1]);
+
+    std::vector<std::vector<TileHalves>> waves;
+    const int64_t blocks0 = ceilDiv(ext0, a0);
+    const int64_t blocks1 = ceilDiv(ext1, a1);
+
+    if (!dep0 && !dep1) {
+        // The sparse operand is broadcast: every PE of every wave
+        // carries the same work by construction.
+        waves.assign(static_cast<size_t>(blocks0 * blocks1),
+                     {TileHalves{0.5, 0.5}});
+        return waves;
+    }
+
+    if (dep0 && dep1 && sp == Operand::Weights) {
+        // Weight-stationary C,K tiling: each PE holds an RF-bounded
+        // chunk of kernels along the second spatial dim — the exact
+        // geometry of the modelled waves (weightChunkWaves is shared
+        // with CostModel) — and its work is the summed live count of
+        // the chunk. Halves split evenly: half-tile balancing is never
+        // admissible on two sparse axes, so only the total is ever
+        // consumed.
+        for (const auto &chunk_tiles :
+             weightChunkWaves(cfg, shape, ext0, ext1)) {
+            std::vector<TileHalves> tiles;
+            tiles.reserve(chunk_tiles.size());
+            for (const ChunkTileRef &t : chunk_tiles) {
+                double w = 0.0;
+                for (int64_t s = 0; s < t.chunkCount; ++s) {
+                    w += pairWork(layer, sp, dims[0], t.index0, dims[1],
+                                  t.chunkBase + s);
+                }
+                tiles.push_back(TileHalves{w / 2.0, w / 2.0});
+            }
+            waves.push_back(std::move(tiles));
+        }
+        return waves;
+    }
+
+    if (dep0 != dep1) {
+        // Sparse along exactly one axis: one tile per index on that
+        // axis, replicated (identically) across every block of the
+        // dense axis.
+        const Dim d = dep0 ? dims[0] : dims[1];
+        const int64_t a = dep0 ? a0 : a1;
+        const int64_t ext = dep0 ? ext0 : ext1;
+        const int64_t dense_blocks = dep0 ? blocks1 : blocks0;
+        for (int64_t b = 0; b < ext; b += a) {
+            const int64_t count = std::min(a, ext - b);
+            std::vector<TileHalves> tiles;
+            tiles.reserve(static_cast<size_t>(count));
+            for (int64_t i = 0; i < count; ++i)
+                tiles.push_back(sliceWork(layer, sp, d, b + i));
+            for (int64_t r = 0; r < dense_blocks; ++r)
+                waves.push_back(tiles);
+        }
+        return waves;
+    }
+
+    // Sparse along both axes with an activation operand (e.g. the C,N
+    // or P,Q pairings in the weight-update phase): per-PE work from
+    // the combined measured marginals; no half measurement exists at
+    // this granularity, so halves split evenly (half-tile balancing is
+    // not admissible on two sparse axes anyway).
+    for (int64_t b0 = 0; b0 < ext0; b0 += a0) {
+        const int64_t n0 = std::min(a0, ext0 - b0);
+        for (int64_t b1 = 0; b1 < ext1; b1 += a1) {
+            const int64_t n1 = std::min(a1, ext1 - b1);
+            std::vector<TileHalves> tiles;
+            tiles.reserve(static_cast<size_t>(n0 * n1));
+            for (int64_t i = 0; i < n0; ++i) {
+                for (int64_t j = 0; j < n1; ++j) {
+                    const double w = pairWork(layer, sp, dims[0], b0 + i,
+                                              dims[1], b1 + j);
+                    tiles.push_back(TileHalves{w / 2.0, w / 2.0});
+                }
+            }
+            waves.push_back(std::move(tiles));
+        }
+    }
+    return waves;
+}
+
+namespace {
+
+/** Invoke `fn` on every wave's tile set of an epoch in one phase. */
+template <typename Fn>
+void
+forEachMeasuredWave(const EpochTrace &epoch, Phase phase,
+                    MappingKind mapping, const ArrayConfig &cfg, Fn &&fn)
+{
+    PROCRUSTES_ASSERT(epoch.batchSize > 0, "epoch has no batch size");
+    for (const LayerTrace &l : epoch.layers) {
+        const auto waves =
+            measuredLayerWaves(l, phase, mapping, cfg, epoch.batchSize);
+        for (const auto &tiles : waves)
+            fn(tiles);
+    }
+}
+
+} // namespace
+
+std::vector<double>
+collectMeasuredOverheads(const EpochTrace &epoch, Phase phase,
+                         MappingKind mapping, const ArrayConfig &cfg,
+                         BalanceMode balance)
+{
+    const bool cheap_ok = supportsCheapBalancing(phase, mapping);
+    std::vector<double> overheads;
+    forEachMeasuredWave(epoch, phase, mapping, cfg,
+                        [&](const std::vector<TileHalves> &tiles) {
+                            overheads.push_back(
+                                waveOverhead(tiles, balance, cheap_ok));
+                        });
+    return overheads;
+}
+
+EpochImbalance
+measuredEpochImbalance(const EpochTrace &epoch, MappingKind mapping,
+                       const ArrayConfig &cfg, BalanceMode balance,
+                       int bins, double bin_width)
+{
+    std::vector<double> balanced;
+    std::vector<double> unbalanced;
+    // Forward and Backward tile identically (both are sparse in
+    // Operand::Weights — sparseOperand — so waves and the cheap-
+    // balancing gate match), so the mask is tiled once and each
+    // overhead counted twice to keep the pooled phase weighting.
+    for (Phase phase : {Phase::Forward, Phase::WeightUpdate}) {
+        const bool cheap_ok = supportsCheapBalancing(phase, mapping);
+        const int copies = phase == Phase::Forward ? 2 : 1;
+        forEachMeasuredWave(
+            epoch, phase, mapping, cfg,
+            [&](const std::vector<TileHalves> &tiles) {
+                const double b = waveOverhead(tiles, balance, cheap_ok);
+                const double u =
+                    waveOverhead(tiles, BalanceMode::None, cheap_ok);
+                for (int r = 0; r < copies; ++r) {
+                    balanced.push_back(b);
+                    unbalanced.push_back(u);
+                }
+            });
+    }
+    EpochImbalance out;
+    out.balanced = buildHistogram(balanced, bins, bin_width);
+    out.unbalanced = buildHistogram(unbalanced, bins, bin_width);
+    return out;
+}
+
+} // namespace arch
+} // namespace procrustes

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Measured-mask load-balance replay: Figures 5 and 13 rebuilt from the
+ * masks a real training run produced, not from synthetic profiles.
+ *
+ * collectOverheads answers "how imbalanced would this network be"
+ * through a LayerSparsityProfile, whose activation statistics may be
+ * synthetic jitter. This module answers the question for a recorded
+ * WorkloadTrace epoch with no profile in between: per-wave TileHalves
+ * work is tallied directly from the epoch-final weight masks (fw/bw
+ * phases — exact per-slice non-zero counts via SparsityMask::tileNnz
+ * and per-kernel counts for the RF-chunked C,K tiling) and from the
+ * measured per-sample / per-channel activation-density vectors (wu
+ * phase), then run through the same half-tile balancer the hardware
+ * would use (rebalanceHalfTiles). Accelerator::evaluateTrace emits the
+ * resulting balanced/unbalanced histograms per epoch, which is what
+ * BENCH_cosim.json v3 records.
+ */
+
+#ifndef PROCRUSTES_ARCH_TRACE_IMBALANCE_H_
+#define PROCRUSTES_ARCH_TRACE_IMBALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/imbalance.h"
+#include "arch/workload_trace.h"
+
+namespace procrustes {
+namespace arch {
+
+/** Balanced-vs-unbalanced overhead distributions of one epoch. */
+struct EpochImbalance
+{
+    ImbalanceHistogram unbalanced;   //!< BalanceMode::None
+    ImbalanceHistogram balanced;     //!< the requested balancing policy
+};
+
+/**
+ * Per-wave working sets of one traced layer in one phase under one
+ * mapping: each inner vector holds the half-split work tiles of one
+ * full-PE-array wave, in issue order. Work units are live weight
+ * positions (fw/bw: exact counts from the epoch-final mask) or
+ * relative activation non-zero volume (wu: measured density vectors);
+ * overheads are ratios within a wave, so the unit never matters.
+ * Waves whose sparse operand is uniform across the array by
+ * construction carry a single uniform tile (zero overhead).
+ */
+std::vector<std::vector<TileHalves>>
+measuredLayerWaves(const LayerTrace &layer, Phase phase,
+                   MappingKind mapping, const ArrayConfig &cfg,
+                   int64_t batch);
+
+/**
+ * Per-wave overheads of every layer of a traced epoch in one phase —
+ * the measured-mask analogue of collectOverheads. Half-tile balancing
+ * applies only where the mapping admits it (supportsCheapBalancing),
+ * exactly like the cost model.
+ */
+std::vector<double>
+collectMeasuredOverheads(const EpochTrace &epoch, Phase phase,
+                         MappingKind mapping, const ArrayConfig &cfg,
+                         BalanceMode balance);
+
+/**
+ * Balanced and unbalanced overhead histograms of one epoch, all three
+ * training phases pooled (the balanced side uses `balance`, the
+ * unbalanced side BalanceMode::None). Defaults match the Figure 5/13
+ * binning. Balanced meanOverhead never exceeds unbalanced: the
+ * original tiles are one feasible pairing of the same halves, so the
+ * half-tile pairing can only lower every wave's maximum.
+ */
+EpochImbalance
+measuredEpochImbalance(const EpochTrace &epoch, MappingKind mapping,
+                       const ArrayConfig &cfg, BalanceMode balance,
+                       int bins = 32, double bin_width = 0.05);
+
+} // namespace arch
+} // namespace procrustes
+
+#endif // PROCRUSTES_ARCH_TRACE_IMBALANCE_H_

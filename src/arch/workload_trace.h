@@ -9,11 +9,14 @@
  * class is that pipeline for our own trainer: attach observer() to
  * nn::trainNetwork and every step's LayerStepReports (per-phase
  * executed MACs from the zero-skipping executors, live weight masks,
- * measured activation densities) are aggregated per epoch. Each epoch
- * then converts into a NetworkModel + measured LayerSparsityProfiles
- * that Accelerator::evaluateTrace consumes, yielding per-epoch latency
- * and energy trajectories of the accelerator running the *actual*
- * training workload.
+ * compressed weight footprints, measured activation densities) are
+ * aggregated per epoch. Each epoch then converts into a NetworkModel +
+ * measured LayerSparsityProfiles that Accelerator::evaluateTrace
+ * consumes, yielding per-epoch latency and energy trajectories of the
+ * accelerator running the *actual* training workload — with the
+ * GLB/DRAM weight-traffic terms fed by the measured byte counts and
+ * load-imbalance histograms replayed from the epoch-final masks
+ * (arch/trace_imbalance.h), not estimated from mean densities.
  */
 
 #ifndef PROCRUSTES_ARCH_WORKLOAD_TRACE_H_

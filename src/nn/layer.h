@@ -90,6 +90,10 @@ struct LayerStepReport
     /** @name Live weight mask snapshot (valid when hasMask). */
     /**@{*/
     bool hasMask = false;
+    /** The epoch-final snapshot of this mask (WorkloadTrace keeps the
+        last one per epoch) is what the measured-mask load-balance
+        replay (arch/trace_imbalance.h) tiles into per-PE work — it
+        must be the exact live pattern, not an approximation. */
     sparse::SparsityMask mask;
     /**@}*/
 

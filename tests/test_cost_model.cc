@@ -300,6 +300,113 @@ TEST(CostModel, PhaseCostAccumulates)
     EXPECT_DOUBLE_EQ(a.totalEnergyJ(), 6.0);
 }
 
+TEST(CostModel, MeasuredCsbBytesDriveSparseTrafficEnergy)
+{
+    // A measured compressed byte count replaces the density-derived
+    // CSB weight-traffic estimate: perturbing the bytes (same mask,
+    // same density) must move the GLB and DRAM energy terms, in the
+    // byte count's direction, while leaving MAC/RF energy and the
+    // wave-level latency untouched.
+    const LayerShape l = convLayer("c", 64, 128, 3, 14);
+    const auto profile = maskedProfile(l, 0.25);
+    const CostModel m = sparseModel();
+
+    const PhaseCost modelled =
+        m.evaluatePhase(l, Phase::Forward, MappingKind::KN, profile, 16);
+
+    // The modelled estimate in word units, as storedWords computes it.
+    const double vol = static_cast<double>(l.weightCount());
+    const double modelled_words =
+        vol * profile.weightDensity() + vol / 32.0 +
+        static_cast<double>(l.K * l.effectiveC());
+
+    MeasuredLayerStats heavier;
+    heavier.csbWeightBytes = modelled_words * 4.0 * 1.5;
+    const PhaseCost grew = m.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16, heavier);
+    EXPECT_GT(grew.glbEnergyJ, modelled.glbEnergyJ);
+    EXPECT_GT(grew.dramEnergyJ, modelled.dramEnergyJ);
+    EXPECT_DOUBLE_EQ(grew.macEnergyJ, modelled.macEnergyJ);
+    EXPECT_DOUBLE_EQ(grew.rfEnergyJ, modelled.rfEnergyJ);
+    EXPECT_DOUBLE_EQ(grew.computeCycles, modelled.computeCycles);
+
+    MeasuredLayerStats lighter;
+    lighter.csbWeightBytes = modelled_words * 4.0 * 0.5;
+    const PhaseCost shrank = m.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16, lighter);
+    EXPECT_LT(shrank.glbEnergyJ, modelled.glbEnergyJ);
+    EXPECT_LT(shrank.dramEnergyJ, modelled.dramEnergyJ);
+
+    // A measurement equal to the modelled GLB estimate reproduces the
+    // GLB energy exactly; the DRAM side grows by exactly the pointer
+    // words the bandwidth estimate used to neglect (vol*density +
+    // mask bits only) — measurement closes that approximation.
+    MeasuredLayerStats same;
+    same.csbWeightBytes = modelled_words * 4.0;
+    const PhaseCost match = m.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16, same);
+    EXPECT_NEAR(match.glbEnergyJ, modelled.glbEnergyJ,
+                1e-12 * modelled.glbEnergyJ);
+    const double pointer_words =
+        static_cast<double>(l.K * l.effectiveC());
+    const double pointer_j =
+        pointer_words * m.config().dramAccessPj * 1e-12;
+    EXPECT_NEAR(match.dramEnergyJ, modelled.dramEnergyJ + pointer_j,
+                1e-9 * modelled.dramEnergyJ);
+}
+
+TEST(CostModel, MeasuredDenseBytesFeedTheDenseBaseline)
+{
+    // The dense baseline streams the dense image: only the measured
+    // dense byte count applies; a compressed measurement must be
+    // ignored (that machine cannot consume CSB).
+    const LayerShape l = convLayer("c", 64, 128, 3, 14);
+    const auto profile = maskedProfile(l, 0.25);
+    const CostModel m = denseModel();
+
+    const PhaseCost modelled =
+        m.evaluatePhase(l, Phase::Forward, MappingKind::KN, profile, 16);
+
+    MeasuredLayerStats csb_only;
+    csb_only.csbWeightBytes = 1.0;   // absurdly small; must not apply
+    const PhaseCost ignored = m.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16, csb_only);
+    EXPECT_DOUBLE_EQ(ignored.glbEnergyJ, modelled.glbEnergyJ);
+    EXPECT_DOUBLE_EQ(ignored.dramEnergyJ, modelled.dramEnergyJ);
+
+    MeasuredLayerStats dense_grew;
+    dense_grew.denseWeightBytes =
+        static_cast<double>(l.weightCount()) * 4.0 * 2.0;
+    const PhaseCost grew = m.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16, dense_grew);
+    EXPECT_GT(grew.glbEnergyJ, modelled.glbEnergyJ);
+    EXPECT_GT(grew.dramEnergyJ, modelled.dramEnergyJ);
+}
+
+TEST(CostModel, IdealModeKeepsOverheadFreeEstimateDespiteMeasurement)
+{
+    // Figure 1's idealization assumes a zero-overhead format; the
+    // measured bytes include real mask/pointer overheads and must not
+    // leak into it.
+    const LayerShape l = convLayer("c", 64, 128, 3, 14);
+    const auto profile = maskedProfile(l, 0.25);
+    CostOptions o;
+    o.sparse = true;
+    o.ideal = true;
+    o.balance = BalanceMode::FullChip;
+    const CostModel m(ArrayConfig::baseline16(), o);
+
+    const PhaseCost modelled =
+        m.evaluatePhase(l, Phase::Forward, MappingKind::KN, profile, 16);
+    MeasuredLayerStats measured;
+    measured.csbWeightBytes = 1e9;
+    measured.denseWeightBytes = 1e9;
+    const PhaseCost got = m.evaluatePhase(
+        l, Phase::Forward, MappingKind::KN, profile, 16, measured);
+    EXPECT_DOUBLE_EQ(got.glbEnergyJ, modelled.glbEnergyJ);
+    EXPECT_DOUBLE_EQ(got.dramEnergyJ, modelled.dramEnergyJ);
+}
+
 } // namespace
 } // namespace arch
 } // namespace procrustes

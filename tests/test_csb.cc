@@ -186,6 +186,139 @@ TEST(Csb, TranspositionRejectedForConvFilters)
     EXPECT_DEATH(csb.decodeTransposed(), "fc matrices");
 }
 
+// ------------------------------------------- property / fuzz sweep
+
+/** Bitwise decode identity: every element, exact float equality. */
+void
+expectBitwiseEqual(const Tensor &got, const Tensor &want)
+{
+    ASSERT_EQ(got.shape(), want.shape());
+    for (int64_t i = 0; i < want.numel(); ++i)
+        ASSERT_EQ(got.at(i), want.at(i)) << "element " << i;
+}
+
+/** Zero out a `sparsity` fraction of elements, exactly at 0 and 1. */
+void
+applyRandomMask(Tensor *w, double sparsity, Xorshift128Plus *rng)
+{
+    for (int64_t i = 0; i < w->numel(); ++i) {
+        if (sparsity >= 1.0 || rng->nextDouble() < sparsity)
+            w->at(i) = 0.0f;
+        else if (w->at(i) == 0.0f)
+            w->at(i) = 1.0f;   // force exact target at sparsity 0
+    }
+}
+
+TEST(CsbFuzz, RandomConvShapesAndSparsitiesRoundTripBitwise)
+{
+    // Random geometries x {0, 25, 50, 95, 100}% sparsity: the encode
+    // must reproduce the dense tensor bit for bit, report the exact
+    // non-zero count, and account its bytes consistently.
+    Xorshift128Plus rng(20260726);
+    const double sparsities[] = {0.0, 0.25, 0.5, 0.95, 1.0};
+    for (int iter = 0; iter < 24; ++iter) {
+        const int64_t k = 1 + static_cast<int64_t>(rng.next() % 9);
+        const int64_t c = 1 + static_cast<int64_t>(rng.next() % 7);
+        const int64_t r = 1 + static_cast<int64_t>(rng.next() % 7);
+        const int64_t s = 1 + static_cast<int64_t>(rng.next() % 7);
+        const double sparsity = sparsities[iter % 5];
+
+        Tensor w(Shape{k, c, r, s});
+        w.fillGaussian(rng, 1.0f);
+        applyRandomMask(&w, sparsity, &rng);
+        int64_t nnz = 0;
+        for (int64_t i = 0; i < w.numel(); ++i)
+            nnz += w.at(i) != 0.0f;
+
+        const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+        EXPECT_EQ(csb.nnz(), nnz) << "shape " << k << "x" << c << "x"
+                                  << r << "x" << s;
+        expectBitwiseEqual(csb.decode(), w);
+        EXPECT_EQ(csb.totalBytes(), csb.valueBytes() + csb.maskBytes() +
+                                        csb.pointerBytes());
+        EXPECT_EQ(csb.valueBytes(), nnz * 4);
+    }
+}
+
+TEST(CsbFuzz, RandomMatrixShapesIncludeRaggedBlocks)
+{
+    // Matrix encodes at block sides that do NOT divide the shape:
+    // edge blocks cover the in-range remainder and both traversals
+    // (row-major and transposed-while-fetching) must stay bitwise
+    // exact.
+    Xorshift128Plus rng(424243);
+    const double sparsities[] = {0.0, 0.25, 0.5, 0.95, 1.0};
+    for (int iter = 0; iter < 24; ++iter) {
+        const int64_t rows = 1 + static_cast<int64_t>(rng.next() % 29);
+        const int64_t cols = 1 + static_cast<int64_t>(rng.next() % 29);
+        const int64_t side = 2 + static_cast<int64_t>(rng.next() % 7);
+        const double sparsity = sparsities[iter % 5];
+
+        Tensor w(Shape{rows, cols});
+        w.fillGaussian(rng, 1.0f);
+        applyRandomMask(&w, sparsity, &rng);
+
+        const CsbTensor csb = CsbTensor::encodeMatrix(w, side);
+        EXPECT_EQ(csb.blockSide(), side);
+        expectBitwiseEqual(csb.decode(), w);
+
+        const Tensor wt = csb.decodeTransposed();
+        ASSERT_EQ(wt.shape(), Shape({cols, rows}));
+        for (int64_t i = 0; i < rows; ++i) {
+            for (int64_t j = 0; j < cols; ++j)
+                ASSERT_EQ(wt(j, i), w(i, j))
+                    << rows << "x" << cols << " side " << side;
+        }
+    }
+}
+
+TEST(CsbFuzz, TotalBytesMonotoneInNonzeroCount)
+{
+    // On a fixed geometry, mask and pointer storage are constant, so
+    // totalBytes must grow strictly with every added non-zero —
+    // checked by revealing one random zero at a time from the empty
+    // tensor up to fully dense.
+    Xorshift128Plus rng(777);
+    Tensor w(Shape{3, 4, 3, 3});
+    int64_t prev = CsbTensor::encodeConvFilters(w).totalBytes();
+    const int64_t empty_bytes = prev;
+
+    std::vector<int64_t> order(static_cast<size_t>(w.numel()));
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int64_t>(i);
+    for (size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.next() % i]);
+
+    for (int64_t idx : order) {
+        w.at(idx) = static_cast<float>(rng.nextGaussian()) + 10.0f;
+        const int64_t bytes =
+            CsbTensor::encodeConvFilters(w).totalBytes();
+        EXPECT_EQ(bytes, prev + 4);   // one value word per non-zero
+        prev = bytes;
+    }
+    EXPECT_EQ(prev, empty_bytes + w.numel() * 4);
+}
+
+TEST(CsbFuzz, EmptyTensorsAcrossKindsAndRaggedEdges)
+{
+    // All-zero tensors: no values, only mask + pointer overhead, and
+    // the round trip still reproduces the zeros exactly — including a
+    // matrix smaller than one block.
+    Tensor conv(Shape{2, 3, 5, 5});
+    const CsbTensor cc = CsbTensor::encodeConvFilters(conv);
+    EXPECT_EQ(cc.nnz(), 0);
+    EXPECT_EQ(cc.valueBytes(), 0);
+    EXPECT_EQ(cc.totalBytes(), cc.maskBytes() + cc.pointerBytes());
+    expectBitwiseEqual(cc.decode(), conv);
+
+    Tensor mat(Shape{2, 3});
+    const CsbTensor cm = CsbTensor::encodeMatrix(mat, 8);
+    EXPECT_EQ(cm.nnz(), 0);
+    EXPECT_EQ(cm.numBlocks(), 1);   // one ragged block covers it all
+    expectBitwiseEqual(cm.decode(), mat);
+    expectBitwiseEqual(cm.decodeTransposed(), Tensor(Shape{3, 2}));
+}
+
 TEST(Csb, VariableKernelSizesSupported)
 {
     // Region size adapts per layer: 1x1, 5x5, 7x7 kernels all encode.

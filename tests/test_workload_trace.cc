@@ -15,6 +15,7 @@
 #include "arch/accelerator.h"
 #include "arch/workload_trace.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "kernels/backend.h"
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
@@ -642,6 +643,229 @@ TEST(WorkloadTrace, RaggedSampleVectorsDropToScalarMean)
 
     const auto p = trace.profiles(0)[0];
     EXPECT_DOUBLE_EQ(p.iactSampleDensity(0), 0.5);   // scalar fallback
+}
+
+TEST(WorkloadTrace, MeasuredWeightBytesMoveTraceDrivenTrafficEnergy)
+{
+    // Acceptance check for the measured-traffic path: two traces that
+    // differ only in the recorded compressed footprint must evaluate
+    // to different GLB/DRAM energies — the byte count, not the
+    // density estimate, is what the traffic terms consume.
+    sparse::SparsityMask mask = sparse::SparsityMask::dense(8, 4, 3, 3);
+    for (size_t i = 0; i < mask.bits.size(); i += 2)
+        mask.bits[i] = 0;   // density exactly 0.5
+
+    auto makeTelemetry = [&mask](int64_t csb_bytes) {
+        nn::StepTelemetry t;
+        t.epoch = 0;
+        t.step = 0;
+        t.batchSize = 4;
+        nn::LayerStepReport r;
+        r.layerName = "conv";
+        r.kind = nn::LayerStepReport::Kind::Conv;
+        r.batch = 4;
+        r.K = 8;
+        r.C = 4;
+        r.R = 3;
+        r.S = 3;
+        r.P = 10;
+        r.Q = 10;
+        r.hasMacs = true;
+        r.sparseExecuted = true;
+        r.fwMacs = 1000;
+        r.bwDataMacs = 1000;
+        r.bwWeightMacs = 1000;
+        r.hasMask = true;
+        r.mask = mask;
+        r.hasWeightBytes = true;
+        r.csbWeightBytes = csb_bytes;
+        r.denseWeightBytes = 8 * 4 * 3 * 3 * 4;
+        r.inputDensity = 1.0;
+        t.reports.push_back(std::move(r));
+        return t;
+    };
+    const arch::Accelerator acc = arch::Accelerator::procrustes();
+
+    arch::WorkloadTrace small;
+    small.observe(makeTelemetry(600));
+    arch::WorkloadTrace large;
+    large.observe(makeTelemetry(6000));
+
+    const arch::NetworkCost cs = acc.evaluateTrace(small, 0);
+    const arch::NetworkCost cl = acc.evaluateTrace(large, 0);
+    EXPECT_GT(cl.total().glbEnergyJ, cs.total().glbEnergyJ);
+    EXPECT_GT(cl.total().dramEnergyJ, cs.total().dramEnergyJ);
+    // MAC/RF energy comes from the (identical) measured MACs.
+    EXPECT_DOUBLE_EQ(cl.total().macEnergyJ, cs.total().macEnergyJ);
+    EXPECT_DOUBLE_EQ(cl.total().rfEnergyJ, cs.total().rfEnergyJ);
+
+    // The dense baseline streams the dense image; identical dense
+    // bytes mean identical traffic whatever the CSB field says.
+    const arch::Accelerator baseline =
+        arch::Accelerator::denseBaseline();
+    const arch::NetworkCost bs = baseline.evaluateTrace(small, 0);
+    const arch::NetworkCost bl = baseline.evaluateTrace(large, 0);
+    EXPECT_DOUBLE_EQ(bl.total().glbEnergyJ, bs.total().glbEnergyJ);
+    EXPECT_DOUBLE_EQ(bl.total().dramEnergyJ, bs.total().dramEnergyJ);
+}
+
+TEST(WorkloadTrace, TraceDrivenImbalanceHistogramsComeFromMeasuredMasks)
+{
+    // End to end on a real pruned run: evaluateTrace must emit
+    // balanced/unbalanced histograms whose balanced mean never
+    // exceeds the unbalanced one, with genuinely non-zero imbalance
+    // once pruning has made the masks uneven.
+    nn::Network net;
+    buildNet(net, kernels::KernelBackend::kSparse, 29);
+    Xorshift128Plus prune_rng(31);
+    for (size_t i = 0; i < net.size(); ++i) {
+        auto *conv = dynamic_cast<nn::Conv2d *>(net.layer(i));
+        if (!conv)
+            continue;
+        Tensor &w = conv->weight().value;
+        // Uneven pruning: drop 70% of even output channels, 20% of
+        // odd ones, so K-slices carry visibly different work.
+        const Shape &s = w.shape();
+        for (int64_t k = 0; k < s[0]; ++k) {
+            const double p = (k % 2 == 0) ? 0.7 : 0.2;
+            for (int64_t j = 0; j < s.numel() / s[0]; ++j) {
+                if (prune_rng.nextDouble() < p)
+                    w.at(k * (s.numel() / s[0]) + j) = 0.0f;
+            }
+        }
+    }
+    auto splits = blobSplits();
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batchSize = 8;
+    nn::Sgd opt(0.05f);
+    arch::WorkloadTrace trace;
+    trainNetwork(net, opt, splits.first, splits.second, tc,
+                 trace.observer());
+
+    const arch::Accelerator acc = arch::Accelerator::procrustes();
+    for (size_t e = 0; e < trace.epochCount(); ++e) {
+        arch::EpochImbalance imb;
+        acc.evaluateTrace(trace, e, &imb);
+        EXPECT_GT(imb.unbalanced.meanOverhead, 0.0) << e;
+        EXPECT_LE(imb.balanced.meanOverhead,
+                  imb.unbalanced.meanOverhead + 1e-12)
+            << e;
+        EXPECT_LE(imb.balanced.maxOverhead,
+                  imb.unbalanced.maxOverhead + 1e-12)
+            << e;
+        double total = 0.0;
+        for (double f : imb.unbalanced.fraction)
+            total += f;
+        EXPECT_NEAR(total, 1.0, 1e-9) << e;
+    }
+}
+
+/** Restores the process-wide pool to its env-resolved size on exit. */
+struct GlobalPoolGuard
+{
+    ~GlobalPoolGuard() { ThreadPool::resetGlobal(0); }
+};
+
+/** One full trace-pipeline run at the current pool size. */
+struct PipelineResult
+{
+    arch::WorkloadTrace trace;
+    std::vector<arch::EpochImbalance> imbalance;
+};
+
+PipelineResult
+runTracePipeline()
+{
+    nn::Network net;
+    buildNet(net, kernels::KernelBackend::kSparse, 41);
+    auto *fc_layer =
+        dynamic_cast<nn::Linear *>(net.layer(net.size() - 1));
+    fc_layer->setBackend(kernels::KernelBackend::kSparse);
+    for (size_t i = 0; i < net.size(); ++i) {
+        nn::Layer *l = net.layer(i);
+        Tensor *w = nullptr;
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(l))
+            w = &conv->weight().value;
+        else if (auto *fc = dynamic_cast<nn::Linear *>(l))
+            w = &fc->weight().value;
+        if (!w)
+            continue;
+        for (int64_t j = 0; j < w->numel(); j += 3)
+            w->at(j) = 0.0f;
+    }
+    auto splits = blobSplits();
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batchSize = 8;
+    nn::Sgd opt(0.05f);
+    PipelineResult out;
+    trainNetwork(net, opt, splits.first, splits.second, tc,
+                 out.trace.observer());
+    const arch::Accelerator acc = arch::Accelerator::procrustes();
+    for (size_t e = 0; e < out.trace.epochCount(); ++e) {
+        arch::EpochImbalance imb;
+        acc.evaluateTrace(out.trace, e, &imb);
+        out.imbalance.push_back(imb);
+    }
+    return out;
+}
+
+void
+expectHistogramsIdentical(const arch::ImbalanceHistogram &a,
+                          const arch::ImbalanceHistogram &b)
+{
+    EXPECT_EQ(a.meanOverhead, b.meanOverhead);
+    EXPECT_EQ(a.maxOverhead, b.maxOverhead);
+    ASSERT_EQ(a.fraction.size(), b.fraction.size());
+    for (size_t i = 0; i < a.fraction.size(); ++i)
+        EXPECT_EQ(a.fraction[i], b.fraction[i]) << i;
+}
+
+TEST(ThreadSweep, TracePipelineBitwiseIdenticalAcrossThreadCounts)
+{
+    // The whole measured pipeline — training on the CSB executors,
+    // telemetry aggregation, measured MAC tallies, byte counts, and
+    // the mask-replayed imbalance histograms — must be bitwise
+    // invariant to the thread-pool size.
+    GlobalPoolGuard guard;
+    ThreadPool::resetGlobal(1);
+    const PipelineResult ref = runTracePipeline();
+    ASSERT_EQ(ref.trace.epochCount(), 2u);
+
+    for (int threads : {2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        ASSERT_EQ(ThreadPool::global().numThreads(), threads);
+        const PipelineResult got = runTracePipeline();
+        ASSERT_EQ(got.trace.epochCount(), ref.trace.epochCount());
+        for (size_t e = 0; e < ref.trace.epochCount(); ++e) {
+            const arch::EpochTrace &re = ref.trace.epoch(e);
+            const arch::EpochTrace &ge = got.trace.epoch(e);
+            EXPECT_EQ(ge.steps, re.steps) << threads;
+            EXPECT_EQ(ge.meanLoss, re.meanLoss) << threads;
+            ASSERT_EQ(ge.layers.size(), re.layers.size());
+            for (size_t i = 0; i < re.layers.size(); ++i) {
+                const arch::LayerTrace &rl = re.layers[i];
+                const arch::LayerTrace &gl = ge.layers[i];
+                EXPECT_EQ(gl.fwMacs, rl.fwMacs) << threads;
+                EXPECT_EQ(gl.bwDataMacs, rl.bwDataMacs) << threads;
+                EXPECT_EQ(gl.bwWeightMacs, rl.bwWeightMacs) << threads;
+                EXPECT_EQ(gl.csbWeightBytes, rl.csbWeightBytes)
+                    << threads;
+                EXPECT_EQ(gl.denseWeightBytes, rl.denseWeightBytes);
+                EXPECT_EQ(gl.mask.bits, rl.mask.bits) << threads;
+                EXPECT_EQ(gl.iacts.mean, rl.iacts.mean) << threads;
+                EXPECT_EQ(gl.iacts.perSample, rl.iacts.perSample);
+                EXPECT_EQ(gl.iacts.perSampleHalf,
+                          rl.iacts.perSampleHalf);
+                EXPECT_EQ(gl.iacts.perChannel, rl.iacts.perChannel);
+            }
+            expectHistogramsIdentical(got.imbalance[e].balanced,
+                                      ref.imbalance[e].balanced);
+            expectHistogramsIdentical(got.imbalance[e].unbalanced,
+                                      ref.imbalance[e].unbalanced);
+        }
+    }
 }
 
 TEST(BackendParity, GemmAndSparseTrainIdenticallyUnderDenseMask)

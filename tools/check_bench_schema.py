@@ -46,10 +46,17 @@ COSIM_EPOCH_KEYS = {
     "iact_density", "measured_macs_per_step", "measured_fw_macs",
     "measured_bw_data_macs", "measured_bw_weight_macs",
     "csb_weight_bytes", "dense_weight_bytes", "procrustes_cycles",
-    "procrustes_energy_j", "dense_cycles", "dense_energy_j", "speedup",
-    "energy_ratio",
+    "procrustes_energy_j", "procrustes_glb_energy_j",
+    "procrustes_dram_energy_j", "dense_cycles", "dense_energy_j",
+    "dense_glb_energy_j", "dense_dram_energy_j",
+    "imbalance_unbalanced_mean", "imbalance_unbalanced_max",
+    "imbalance_unbalanced_frac_above_50", "imbalance_balanced_mean",
+    "imbalance_balanced_max", "imbalance_balanced_frac_above_10",
+    "speedup", "energy_ratio",
 }
-COSIM_VERSION = 2
+# v3: measured-traffic energy terms (GLB/DRAM from the trainer's real
+# CSB byte counts) and per-epoch measured-mask imbalance histograms.
+COSIM_VERSION = 3
 
 
 def fail(msg):
@@ -110,6 +117,31 @@ def check_cosim(doc):
         require_keys(epoch, COSIM_EPOCH_KEYS, f"epochs[{i}]")
         if epoch["csb_weight_bytes"] <= 0:
             fail(f"epochs[{i}].csb_weight_bytes must be positive")
+        for key in ("procrustes_glb_energy_j", "procrustes_dram_energy_j",
+                    "dense_glb_energy_j", "dense_dram_energy_j"):
+            if epoch[key] <= 0:
+                fail(f"epochs[{i}].{key} must be positive")
+        for key in ("imbalance_unbalanced_frac_above_50",
+                    "imbalance_balanced_frac_above_10"):
+            v = epoch[key]
+            if not 0.0 <= v <= 1.0:
+                fail(f"epochs[{i}].{key} = {v} outside [0, 1]")
+        for side in ("unbalanced", "balanced"):
+            mean = epoch[f"imbalance_{side}_mean"]
+            peak = epoch[f"imbalance_{side}_max"]
+            if mean < 0 or peak < 0:
+                fail(f"epochs[{i}] {side} imbalance must be >= 0")
+            if mean > peak:
+                fail(f"epochs[{i}].imbalance_{side}_mean = {mean} "
+                     f"exceeds its max {peak}")
+        # The half-tile pairing can only lower a wave's maximum (the
+        # original tiles are one feasible pairing), so balanced mean
+        # overhead must never exceed unbalanced.
+        if (epoch["imbalance_balanced_mean"] >
+                epoch["imbalance_unbalanced_mean"] + 1e-12):
+            fail(f"epochs[{i}]: balanced mean imbalance "
+                 f"{epoch['imbalance_balanced_mean']} exceeds "
+                 f"unbalanced {epoch['imbalance_unbalanced_mean']}")
 
 
 def main():
