@@ -132,8 +132,13 @@ CostModel::pairDensity(const LayerSparsityProfile &profile, Operand op,
         const int64_t c = d0 == Dim::K ? i1 : i0;
         return profile.kernelDensity(k, c);
     }
-    if ((d0 == Dim::P && d1 == Dim::Q) || (d0 == Dim::Q && d1 == Dim::P))
-        return profile.iactSpatialDensity(i0, i1);
+    if ((d0 == Dim::P && d1 == Dim::Q) || (d0 == Dim::Q && d1 == Dim::P)) {
+        // Keep (p, q) order: the measured spatial marginals are not
+        // symmetric under index swap.
+        const int64_t p = d0 == Dim::P ? i0 : i1;
+        const int64_t q = d0 == Dim::P ? i1 : i0;
+        return profile.iactSpatialDensity(p, q);
+    }
     // C,N pairing: ratio-combine the marginal densities so the mean
     // stays near the layer's mean activation density.
     const double dens0 = sliceDensity(profile, op, d0, i0);

@@ -1,5 +1,6 @@
 #include "arch/sparsity_profile.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -51,7 +52,8 @@ LayerSparsityProfile::LayerSparsityProfile(
 
 LayerSparsityProfile
 LayerSparsityProfile::measured(const sparse::SparsityMask &mask,
-                               const MeasuredIactStats &iacts)
+                               const MeasuredIactStats &iacts,
+                               int64_t stride)
 {
     // Measured densities can legitimately be tiny (a dead layer) or
     // exactly 1.0; clamp into the range the model arithmetic accepts
@@ -62,6 +64,9 @@ LayerSparsityProfile::measured(const sparse::SparsityMask &mask,
     p.measSample_ = iacts.perSample;
     p.measSampleHalf_ = iacts.perSampleHalf;
     p.measChannel_ = iacts.perChannel;
+    p.measRow_ = iacts.perRow;
+    p.measCol_ = iacts.perCol;
+    p.measStride_ = stride > 0 ? stride : 1;
     for (double &d : p.measSample_)
         d = clampd(d, 0.01, 1.0);
     // A half may carry nearly all of its sample's non-zeros, so its
@@ -69,6 +74,10 @@ LayerSparsityProfile::measured(const sparse::SparsityMask &mask,
     for (double &d : p.measSampleHalf_)
         d = clampd(d, 0.005, 1.0);
     for (double &d : p.measChannel_)
+        d = clampd(d, 0.01, 1.0);
+    for (double &d : p.measRow_)
+        d = clampd(d, 0.01, 1.0);
+    for (double &d : p.measCol_)
         d = clampd(d, 0.01, 1.0);
     return p;
 }
@@ -224,8 +233,25 @@ LayerSparsityProfile::iactChannelHalfDensity(int64_t c, int h) const
 double
 LayerSparsityProfile::iactSpatialDensity(int64_t p, int64_t q) const
 {
-    if (measured_)
+    if (measured_) {
+        // Answer from the measured input-space marginals when the
+        // trace carried them (rank-4 layers): ratio-combine the row
+        // and column densities of the input location feeding output
+        // (p, q), so the mean stays near the layer mean.
+        if (!measRow_.empty() && !measCol_.empty()) {
+            const auto at = [this](const std::vector<double> &m,
+                                   int64_t idx) {
+                const int64_t last =
+                    static_cast<int64_t>(m.size()) - 1;
+                return m[static_cast<size_t>(
+                    std::min(idx * measStride_, last))];
+            };
+            const double combined = at(measRow_, p) * at(measCol_, q) /
+                                    std::max(iactDensity_, 1e-9);
+            return clampd(combined, 0.02, 1.0);
+        }
         return clampd(iactDensity_, 0.02, 1.0);
+    }
     return clampd(iactDensity_ *
                       (1.0 + iactSigma_ *
                                  jitter(static_cast<uint64_t>(p) * 131,

@@ -45,6 +45,12 @@ struct MeasuredIactStats
         perSample[n]. */
     std::vector<double> perSampleHalf;
     std::vector<double> perChannel;       //!< [C]
+    /** Spatial marginals in *input* coordinates, rank-4 layers only
+        (empty for fc): density of input row / column across the other
+        axes. Output-location queries map through the layer stride
+        (min(idx * stride, extent - 1)). */
+    std::vector<double> perRow;           //!< [H]
+    std::vector<double> perCol;           //!< [W]
 };
 
 /** Sparsity facts the cost model needs about one layer. */
@@ -70,11 +76,14 @@ class LayerSparsityProfile
     /**
      * Trace-driven profile: a real weight mask plus *measured*
      * activation densities. No synthetic jitter — every per-sample /
-     * per-channel query answers from the measurements (or the measured
-     * mean where no finer-grained data exists, e.g. spatial slices).
+     * per-channel / spatial query answers from the measurements (or
+     * the measured mean where no finer-grained data exists).
+     * @param stride layer stride, used to map output locations onto
+     *        the input-space spatial marginals.
      */
     static LayerSparsityProfile measured(const sparse::SparsityMask &mask,
-                                         const MeasuredIactStats &iacts);
+                                         const MeasuredIactStats &iacts,
+                                         int64_t stride = 1);
 
     /** True when activation densities are measured, not modelled. */
     bool isMeasured() const { return measured_; }
@@ -135,6 +144,9 @@ class LayerSparsityProfile
     std::vector<double> measSample_;      //!< measured per-sample
     std::vector<double> measSampleHalf_;  //!< measured [n*2+h]
     std::vector<double> measChannel_;     //!< measured per-channel
+    std::vector<double> measRow_;         //!< measured per input row
+    std::vector<double> measCol_;         //!< measured per input col
+    int64_t measStride_ = 1;              //!< output -> input mapping
     int64_t maskK_ = 0;
     int64_t maskC_ = 0;
     int64_t kernelElems_ = 0;

@@ -102,9 +102,10 @@ pairWork(const LayerTrace &layer, Operand sp, Dim d0, int64_t i0,
         const int64_t c = d0 == Dim::K ? i1 : i0;
         return static_cast<double>(layer.mask.blockNnz(k, c));
     }
-    // Activation pairings: ratio-combine the measured marginals (C,N);
-    // spatial dims have no per-location measurement, so they
-    // contribute the mean (uniform).
+    // Activation pairings: ratio-combine the measured marginals. C and
+    // N index their per-slot vectors directly; P and Q map the output
+    // location onto the measured *input-space* spatial marginals
+    // through the layer stride (clamped to the measured extent).
     double work = 1.0;
     bool any = false;
     for (const auto &di : {std::make_pair(d0, i0), std::make_pair(d1, i1)}) {
@@ -116,6 +117,18 @@ pairWork(const LayerTrace &layer, Operand sp, Dim d0, int64_t i0,
             work *= wrapped(layer.iacts.perChannel, di.second,
                             layer.iacts.mean);
             any = true;
+        } else if (di.first == Dim::P || di.first == Dim::Q) {
+            const std::vector<double> &m = di.first == Dim::P
+                                               ? layer.iacts.perRow
+                                               : layer.iacts.perCol;
+            if (!m.empty()) {
+                const int64_t last =
+                    static_cast<int64_t>(m.size()) - 1;
+                const int64_t at =
+                    std::min(di.second * layer.shape.stride, last);
+                work *= m[static_cast<size_t>(at)];
+                any = true;
+            }
         }
     }
     if (!any)

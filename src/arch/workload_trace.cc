@@ -192,6 +192,8 @@ WorkloadTrace::observe(const nn::StepTelemetry &t)
                        l.steps);
         accumulateMean(&l.iacts.perChannel, r.inputChannelDensity,
                        l.steps);
+        accumulateMean(&l.iacts.perRow, r.inputRowDensity, l.steps);
+        accumulateMean(&l.iacts.perCol, r.inputColDensity, l.steps);
         l.fwMacs += r.fwMacs;
         l.bwDataMacs += r.bwDataMacs;
         l.bwWeightMacs += r.bwWeightMacs;
@@ -235,7 +237,8 @@ WorkloadTrace::profiles(size_t epoch_idx) const
     std::vector<LayerSparsityProfile> out;
     out.reserve(e.layers.size());
     for (const LayerTrace &l : e.layers)
-        out.push_back(LayerSparsityProfile::measured(l.mask, l.iacts));
+        out.push_back(LayerSparsityProfile::measured(l.mask, l.iacts,
+                                                     l.shape.stride));
     return out;
 }
 

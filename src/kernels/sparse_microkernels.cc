@@ -1,0 +1,273 @@
+#include "kernels/sparse_microkernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "kernels/im2col.h"   // validOutRange: the shared padding clip
+#include "kernels/sparse_microkernels_impl.h"
+
+namespace procrustes {
+namespace kernels {
+
+namespace {
+
+/** Resolve the dispatch level once from env + CPU capability. */
+int
+resolveSimdLevel()
+{
+    const char *env = std::getenv("PROCRUSTES_SIMD");
+    if (env && *env) {
+        if (std::strcmp(env, "scalar") == 0)
+            return static_cast<int>(SimdLevel::kScalar);
+        if (std::strcmp(env, "avx2") == 0) {
+            if (!avx2Supported())
+                FATAL("PROCRUSTES_SIMD=avx2 but this build/host has "
+                      "no AVX2");
+            return static_cast<int>(SimdLevel::kAvx2);
+        }
+        FATAL("PROCRUSTES_SIMD must be 'avx2' or 'scalar'");
+    }
+    return static_cast<int>(avx2Supported() ? SimdLevel::kAvx2
+                                            : SimdLevel::kScalar);
+}
+
+std::atomic<int> g_simd_level{-1};
+
+} // namespace
+
+bool
+avx2Supported()
+{
+#if defined(PROCRUSTES_HAVE_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    int level = g_simd_level.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = resolveSimdLevel();
+        g_simd_level.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<SimdLevel>(level);
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    PROCRUSTES_ASSERT(level == SimdLevel::kScalar || avx2Supported(),
+                      "cannot select AVX2 kernels on this build/host");
+    g_simd_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+ConvTapPack
+packConvTaps(const sparse::CsbTensor &w, int64_t in_h, int64_t in_w,
+             int64_t stride, int64_t pad)
+{
+    PROCRUSTES_ASSERT(w.kind() == sparse::CsbTensor::Kind::ConvFilters,
+                      "tap packing applies to CSB conv filters");
+    const Shape &ws = w.denseShape();
+    const int64_t r_ext = ws[2];
+    const int64_t s_ext = ws[3];
+    PROCRUSTES_ASSERT(in_h + 2 * pad >= r_ext && in_w + 2 * pad >= s_ext,
+                      "convolution output would be empty");
+
+    ConvTapPack pack;
+    pack.inH = in_h;
+    pack.inW = in_w;
+    pack.stride = stride;
+    pack.pad = pad;
+    pack.pExt = (in_h + 2 * pad - r_ext) / stride + 1;
+    pack.qExt = (in_w + 2 * pad - s_ext) / stride + 1;
+
+    const int64_t nb = w.numBlocks();
+    pack.blockOff.assign(static_cast<size_t>(nb) + 1, 0);
+    pack.taps.reserve(static_cast<size_t>(w.nnz()));
+    for (int64_t b = 0; b < nb; ++b) {
+        if (w.blockNnz(b) > 0) {
+            for (int64_t e = 0; e < w.blockElems(); ++e) {
+                if (!w.blockMaskBit(b, e))
+                    continue;
+                const int64_t r = e / s_ext;
+                const int64_t s = e % s_ext;
+                int64_t p_lo, p_hi, q_lo, q_hi;
+                validOutRange(pack.pExt, in_h, r, stride, pad, &p_lo,
+                              &p_hi);
+                validOutRange(pack.qExt, in_w, s, stride, pad, &q_lo,
+                              &q_hi);
+                ConvTap t;
+                t.elem = static_cast<int32_t>(e);
+                t.pLo = static_cast<int32_t>(p_lo);
+                t.pHi = static_cast<int32_t>(p_hi);
+                t.qLo = static_cast<int32_t>(q_lo);
+                t.nq = static_cast<int32_t>(q_hi - q_lo);
+                // Fold qLo into the base so the row pointer never points
+                // before the buffer (s < pad would otherwise form an
+                // out-of-bounds base).
+                t.xoff = (r - pad) * in_w + q_lo * stride + s - pad;
+                pack.taps.push_back(t);
+            }
+        }
+        pack.blockOff[static_cast<size_t>(b) + 1] =
+            static_cast<int64_t>(pack.taps.size());
+    }
+    return pack;
+}
+
+void
+sparseConvFwdPlaneRun(const ConvRunTap *taps, int64_t ntaps,
+                      const float *xbase, float *yplane,
+                      int64_t xrow_stride, int64_t p_ext, int64_t q_ext)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2) {
+        detail::convFwdPlaneRunAvx2(taps, ntaps, xbase, yplane,
+                                    xrow_stride, p_ext, q_ext);
+        return;
+    }
+#endif
+    detail::convFwdRunScalar(taps, ntaps, xbase, yplane, xrow_stride,
+                             p_ext, q_ext);
+}
+
+int64_t
+sparseConvBwdDataPlane(const ConvTap *taps, int64_t ntaps,
+                       const float *wvals, const float *dyplane,
+                       float *dxplane, int64_t in_w, int64_t stride,
+                       int64_t q_ext)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2)
+        return detail::convBwdDataPlaneAvx2(taps, ntaps, wvals, dyplane,
+                                            dxplane, in_w, stride, q_ext);
+#endif
+    return detail::convBwdDataPlaneScalar(taps, ntaps, wvals, dyplane,
+                                          dxplane, in_w, stride, q_ext);
+}
+
+int64_t
+sparseConvBwdWeightBlock(const ConvTap *taps, int64_t ntaps,
+                         const float *x_chan, const float *dy_chan,
+                         int64_t x_batch_stride, int64_t dy_batch_stride,
+                         int64_t batch, int64_t in_w, int64_t stride,
+                         int64_t q_ext, float *dw_block)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2)
+        return detail::convBwdWeightBlockAvx2(
+            taps, ntaps, x_chan, dy_chan, x_batch_stride, dy_batch_stride,
+            batch, in_w, stride, q_ext, dw_block);
+#endif
+    return detail::convBwdWeightBlockScalar(
+        taps, ntaps, x_chan, dy_chan, x_batch_stride, dy_batch_stride,
+        batch, in_w, stride, q_ext, dw_block);
+}
+
+void
+fcPackTile8(const float *src, int64_t row_stride, int64_t width,
+            float *tile)
+{
+    for (int l = 0; l < 8; ++l) {
+        const float *row = src + l * row_stride;
+        for (int64_t i = 0; i < width; ++i)
+            tile[i * 8 + l] = row[i];
+    }
+}
+
+void
+fcUnpackTile8(const float *tile, float *dst, int64_t row_stride,
+              int64_t width)
+{
+    for (int l = 0; l < 8; ++l) {
+        float *row = dst + l * row_stride;
+        for (int64_t i = 0; i < width; ++i)
+            row[i] = tile[i * 8 + l];
+    }
+}
+
+void
+sparseFcFwdRow(const int64_t *offsets, const int64_t *index,
+               const float *value, int64_t groups, const float *xr,
+               float *yr)
+{
+    detail::fcFwdRowScalar(offsets, index, value, groups, xr, yr);
+}
+
+int64_t
+sparseFcBwdDataRow(const int64_t *offsets, const int64_t *index,
+                   const float *value, int64_t groups, const float *dyr,
+                   float *dxr)
+{
+    return detail::fcBwdDataRowScalar(offsets, index, value, groups, dyr,
+                                      dxr);
+}
+
+void
+sparseFcFwdTile8(const int64_t *offsets, const int64_t *index,
+                 const float *value, int64_t groups, const float *xtile,
+                 float *ytile)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2) {
+        detail::fcFwdTile8Avx2(offsets, index, value, groups, xtile,
+                               ytile);
+        return;
+    }
+#endif
+    detail::fcFwdTile8Scalar(offsets, index, value, groups, xtile, ytile);
+}
+
+int64_t
+sparseFcBwdDataTile8(const int64_t *offsets, const int64_t *index,
+                     const float *value, int64_t groups,
+                     const float *dytile, float *dxtile)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2)
+        return detail::fcBwdDataTile8Avx2(offsets, index, value, groups,
+                                          dytile, dxtile);
+#endif
+    return detail::fcBwdDataTile8Scalar(offsets, index, value, groups,
+                                        dytile, dxtile);
+}
+
+int64_t
+sparseFcWuFill(const int32_t *idx32, const int32_t *row32, int64_t nnz,
+               const float *xr, const float *dyr, float *slot)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2)
+        return detail::fcWuFillAvx2(idx32, row32, nnz, xr, dyr, slot);
+#endif
+    return detail::fcWuFillScalar(idx32, row32, nnz, xr, dyr, slot);
+}
+
+void
+sparseFcWuReduce(const int32_t *di32, const float *part, int64_t nnz,
+                 int64_t samples, int64_t t0, int64_t t1, float *pdw)
+{
+#ifdef PROCRUSTES_HAVE_AVX2
+    if (activeSimdLevel() == SimdLevel::kAvx2) {
+        detail::fcWuReduceAvx2(di32, part, nnz, samples, t0, t1, pdw);
+        return;
+    }
+#endif
+    detail::fcWuReduceScalar(di32, part, nnz, samples, t0, t1, pdw);
+}
+
+} // namespace kernels
+} // namespace procrustes

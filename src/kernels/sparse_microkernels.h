@@ -1,0 +1,279 @@
+/**
+ * @file
+ * SIMD microkernels for the CSB sparse executors.
+ *
+ * The five sparse training executors (conv forward / backward-data /
+ * backward-weight in src/sparse/sparse_conv.cc, fc forward / backward
+ * in src/sparse/sparse_linear.cc) traverse non-zero weights but still
+ * sweep a *dense* axis per tap — the output-pixel q loop for conv, the
+ * sample axis for fc. These microkernels vectorize that dense axis
+ * with AVX2 while keeping the per-output nonzero traversal order
+ * fixed, so the results are bitwise identical to the scalar reference
+ * for every thread count and SIMD level:
+ *
+ *   - conv forward is output-stationary over a *prepared* input: the
+ *     executor copies each input plane once into a zero-padded,
+ *     stride-phase-split scratch layout, after which every mask-live
+ *     tap covers the full output plane with unit column stride — no
+ *     range masks, no gathers, just contiguous loads feeding FMAs.
+ *     The AVX2 kernel holds a register strip of output pixels and
+ *     accumulates every tap of an input-channel run into it in the one
+ *     fixed tap order, so each output element sees the exact addition
+ *     sequence of the scalar reference (pad taps contribute an exact
+ *     ±0, an identity — see the zero-skipping note). Both levels use a
+ *     fused multiply-add per tap (std::fmaf / vfmadd), which rounds
+ *     once, identically.
+ *   - conv backward-data broadcasts one weight against 8 gradient
+ *     pixels per step; lanes are independent output elements, so
+ *     chunking cannot change any sum.
+ *   - conv backward-weight reduces each tap over (n, p, q) into 8
+ *     accumulator lanes indexed by q mod 8 and collapses them with a
+ *     fixed binary tree; the scalar fallback implements the *same*
+ *     lane schedule, so both levels agree bit-for-bit.
+ *   - fc forward / backward-data process the batch in transposed
+ *     8-sample tiles: lane l is sample l, each lane accumulates its
+ *     taps in the one fixed gather order.
+ *   - fc backward-weight vectorizes the per-sample partial fill
+ *     (gather x / dy by tap index) and the per-tap sample-ordered
+ *     reduction; accumulation order per dW element is unchanged.
+ *
+ * Zero-skipping note: the scalar executors skip zero operands, the
+ * SIMD paths multiply them (a PE would skip; a lane is free). Both are
+ * bitwise equal because an accumulator that starts at +0 can never
+ * become -0 (IEEE 754: exact cancellation rounds to +0, and +0 + (±0)
+ * is +0), so adding wt * ±0 is an identity on every partial sum. The
+ * executed-MAC tallies still count only non-zero operands (via
+ * compare + movemask + popcount), matching the scalar counters.
+ *
+ * Both microkernel translation units are compiled with
+ * -ffp-contract=off, so the compiler may not fuse (or un-fuse) what
+ * the other level rounds differently. Where an FMA is used it is
+ * explicit and symmetric (conv forward: std::fmaf / _mm256_fmadd_ps);
+ * everywhere else both levels use explicit mul + add.
+ *
+ * Dispatch: PROCRUSTES_SIMD=avx2|scalar overrides the default (AVX2
+ * whenever the binary and the CPU support it); setSimdLevel() lets
+ * tests flip levels programmatically. The scalar fallback is compiled
+ * unconditionally, so non-AVX2 hosts build and run unchanged.
+ */
+
+#ifndef PROCRUSTES_KERNELS_SPARSE_MICROKERNELS_H_
+#define PROCRUSTES_KERNELS_SPARSE_MICROKERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csb.h"
+
+namespace procrustes {
+namespace kernels {
+
+/** SIMD implementation level of the sparse microkernels. */
+enum class SimdLevel
+{
+    kScalar = 0,   //!< portable reference, always compiled
+    kAvx2 = 1,     //!< 8-lane AVX2, bitwise identical to kScalar
+};
+
+/** True if this binary AND this CPU can run the AVX2 kernels. */
+bool avx2Supported();
+
+/**
+ * The level the microkernels dispatch to. Resolved once from the
+ * PROCRUSTES_SIMD environment variable (avx2 | scalar; forcing avx2 on
+ * a host without it is a fatal error), defaulting to kAvx2 whenever
+ * avx2Supported().
+ */
+SimdLevel activeSimdLevel();
+
+/** Override the dispatch level (tests); kAvx2 requires avx2Supported(). */
+void setSimdLevel(SimdLevel level);
+
+/** Human-readable level name ("scalar" / "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/**
+ * One live conv weight with its padding-clipped output ranges and the
+ * precomputed input-plane offset of its first valid row — everything
+ * the inner loops need, so they stream taps instead of chasing block
+ * maps. Taps are packed in CSB mask order, which is exactly the packed
+ * value order, so tap i of a block pairs with value i of that block.
+ */
+struct ConvTap
+{
+    int32_t elem;       //!< dense element r * S + s within the block
+    int32_t pLo, pHi;   //!< valid output rows [pLo, pHi)
+    int32_t qLo;        //!< first valid output column
+    int32_t nq;         //!< number of valid output columns
+    int64_t xoff;       //!< plane offset of the p == pLo.. row base:
+                        //!< xrow = plane + p*stride*W + xoff
+};
+
+/**
+ * Gather-free packed tap stream for one CSB conv-filter tensor at one
+ * input geometry: per-block contiguous ConvTap runs addressed by
+ * blockOff (size numBlocks + 1). One pack serves all three conv
+ * phases — the mask-live tap set IS the packed value set — and stays
+ * valid as long as the mask and the input geometry do (weight *values*
+ * live in the CsbTensor and are re-read each call, so a pack survives
+ * optimizer steps that only change values).
+ */
+struct ConvTapPack
+{
+    std::vector<ConvTap> taps;      //!< block-major, mask order
+    std::vector<int64_t> blockOff;  //!< per-block tap offsets, nb + 1
+    int64_t inH = 0, inW = 0;       //!< input geometry the pack clips to
+    int64_t stride = 0, pad = 0;
+    int64_t pExt = 0, qExt = 0;     //!< derived output extents
+
+    bool valid() const { return !blockOff.empty(); }
+
+    /** True if this pack describes the given call geometry. */
+    bool
+    matches(int64_t in_h, int64_t in_w, int64_t s, int64_t p) const
+    {
+        return valid() && inH == in_h && inW == in_w && stride == s &&
+               pad == p;
+    }
+};
+
+/** Build the packed tap stream for CSB conv filters at one geometry. */
+ConvTapPack packConvTaps(const sparse::CsbTensor &w, int64_t in_h,
+                         int64_t in_w, int64_t stride, int64_t pad);
+
+/**
+ * One flattened forward tap against the *prepared* input (zero-padded,
+ * stride-phase-split — see sparseConvForward): channel plane, kernel
+ * row, and phase slot are all folded into one offset and the weight
+ * value is copied in, so the forward kernel streams one homogeneous
+ * array over an input-channel run of one output channel. Every tap
+ * covers the full output plane at unit column stride by construction.
+ * Executors rebuild these per call (values change every optimizer
+ * step) from the cached ConvTapPack geometry.
+ */
+struct ConvRunTap
+{
+    int64_t xoff;   //!< prepared-x offset of output (0, 0): output
+                    //!< (p, q) reads xbase + xoff + p*xrow_stride + q
+    float w;        //!< the tap's weight value
+};
+
+/**
+ * Forward conv kernel for one whole output plane: accumulate every
+ * run tap (an input-channel chunk of one output channel, in pack
+ * order) into yplane. yplane carries partial sums across chunked
+ * calls — the executor zero-initializes it once. The AVX2 level is
+ * output-stationary — register strips of y accumulate all taps before
+ * one store — and bitwise identical to the scalar tap-major reference:
+ * per output element both visit the taps in the same order with one
+ * fused multiply-add each. The AVX2 level may *read* up to 7 floats
+ * past a tap's last valid column (the prepared buffer guarantees the
+ * slack); those lanes never reach yplane — masked stores drop them.
+ * Dispatches on activeSimdLevel().
+ */
+void sparseConvFwdPlaneRun(const ConvRunTap *taps, int64_t ntaps,
+                           const float *xbase, float *yplane,
+                           int64_t xrow_stride, int64_t p_ext,
+                           int64_t q_ext);
+
+/**
+ * Backward-data conv inner kernel: scatter one block's taps from one
+ * gradient plane into one dx plane. Returns the executed MACs (taps x
+ * non-zero dy operands). Strided (stride > 1) rows run the scalar
+ * reference at both levels — the dx scatter is non-contiguous there.
+ */
+int64_t sparseConvBwdDataPlane(const ConvTap *taps, int64_t ntaps,
+                               const float *wvals, const float *dyplane,
+                               float *dxplane, int64_t in_w,
+                               int64_t stride, int64_t q_ext);
+
+/**
+ * Backward-weight conv inner kernel: reduce one block's taps over the
+ * whole batch into dw_block (the block's dense r*S+s slots, via
+ * ConvTap::elem). x_chan / dy_chan point at sample 0 of the block's
+ * input / output channel plane; *_batch_stride advance one sample.
+ * Returns the executed MACs (taps x non-zero x operands). Both levels
+ * use the same 8-lane q-mod-8 accumulator schedule and the same fixed
+ * reduction tree, so they are bitwise identical.
+ */
+int64_t sparseConvBwdWeightBlock(const ConvTap *taps, int64_t ntaps,
+                                 const float *x_chan,
+                                 const float *dy_chan,
+                                 int64_t x_batch_stride,
+                                 int64_t dy_batch_stride, int64_t batch,
+                                 int64_t in_w, int64_t stride,
+                                 int64_t q_ext, float *dw_block);
+
+/**
+ * Transpose an 8-sample row-major slab [8, width] (row stride
+ * row_stride) into a lane tile tile[width * 8], tile[i*8 + l] =
+ * src[l*row_stride + i]. Pure data movement — no dispatch needed.
+ */
+void fcPackTile8(const float *src, int64_t row_stride, int64_t width,
+                 float *tile);
+
+/** Inverse of fcPackTile8: dst[l*row_stride + i] = tile[i*8 + l]. */
+void fcUnpackTile8(const float *tile, float *dst, int64_t row_stride,
+                   int64_t width);
+
+/**
+ * Forward fc row kernel for ONE sample: yr[o] = sum of row o's taps.
+ * This is the untiled reference the tile kernels are lane-equal to;
+ * executors use it for tail samples so every sample's arithmetic lives
+ * in this -ffp-contract=off TU (an executor-side loop could be fused
+ * into FMAs by its own TU's flags and break bitwise parity).
+ */
+void sparseFcFwdRow(const int64_t *offsets, const int64_t *index,
+                    const float *value, int64_t groups, const float *xr,
+                    float *yr);
+
+/**
+ * Backward-data fc row kernel for ONE sample (column-view taps, zero-dy
+ * skip). Returns executed MACs. Tail-sample counterpart of
+ * sparseFcBwdDataTile8, same TU-pinning rationale as sparseFcFwdRow.
+ */
+int64_t sparseFcBwdDataRow(const int64_t *offsets, const int64_t *index,
+                           const float *value, int64_t groups,
+                           const float *dyr, float *dxr);
+
+/**
+ * Forward fc tile kernel: for each of `groups` output rows, accumulate
+ * its taps across the 8 sample lanes of xtile into ytile[o*8..].
+ * Per-lane accumulation order equals the scalar per-sample executor's,
+ * so results are bitwise identical to the untiled reference.
+ */
+void sparseFcFwdTile8(const int64_t *offsets, const int64_t *index,
+                      const float *value, int64_t groups,
+                      const float *xtile, float *ytile);
+
+/**
+ * Backward-data fc tile kernel (column-view taps, dytile in, dxtile
+ * out). Returns executed MACs: taps x non-zero dy lanes.
+ */
+int64_t sparseFcBwdDataTile8(const int64_t *offsets, const int64_t *index,
+                             const float *value, int64_t groups,
+                             const float *dytile, float *dxtile);
+
+/**
+ * Weight-update fc fill kernel: slot[t] = dy[row32[t]] * x[idx32[t]]
+ * for all nnz taps of one sample (an exact zero when the x operand is
+ * zero). Returns executed MACs (non-zero x operands).
+ */
+int64_t sparseFcWuFill(const int32_t *idx32, const int32_t *row32,
+                       int64_t nnz, const float *xr, const float *dyr,
+                       float *slot);
+
+/**
+ * Weight-update fc reduction kernel over taps [t0, t1): pdw[di32[t]]
+ * += sum of this group's per-sample partials in sample order (part is
+ * [samples, nnz] row-major). Sample order per tap is preserved at both
+ * levels, so the accumulation stays bitwise thread-count invariant.
+ */
+void sparseFcWuReduce(const int32_t *di32, const float *part,
+                      int64_t nnz, int64_t samples, int64_t t0,
+                      int64_t t1, float *pdw);
+
+} // namespace kernels
+} // namespace procrustes
+
+#endif // PROCRUSTES_KERNELS_SPARSE_MICROKERNELS_H_

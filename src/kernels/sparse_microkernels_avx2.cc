@@ -1,0 +1,392 @@
+/**
+ * @file
+ * AVX2 definitions of the sparse microkernels.
+ *
+ * Compiled with -mavx2 -mfma -ffp-contract=off (per-file, so the rest
+ * of the library keeps its host flags and the MARCH_NATIVE=OFF
+ * sanitizer build still gets vector kernels). Rounding is symmetric
+ * with the scalar reference by construction: the conv forward kernel
+ * uses an explicit _mm256_fmadd_ps mirrored by std::fmaf in the
+ * scalar loop (both round the fused product-sum once); every other
+ * accumulation uses explicit _mm256_add_ps(_mm256_mul_ps(...)) —
+ * never a compiler-contracted FMA — so each product is rounded
+ * exactly once, like its scalar counterpart.
+ *
+ * Bitwise-parity invariants (see sparse_microkernels.h):
+ *   - lanes are independent outputs (fwd, bwd-data, fc tiles), or
+ *   - the lane schedule + reduction tree is mirrored by the scalar
+ *     reference (conv bwd-weight), or
+ *   - the accumulation order per output is untouched (fc wu reduce).
+ * Zero operands are multiplied instead of skipped; the executed-MAC
+ * tallies count them out via compare + movemask + popcount.
+ */
+
+#ifdef PROCRUSTES_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "kernels/sparse_microkernels_impl.h"
+
+namespace procrustes {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+/** Lane masks for 0..7 active tail lanes (high bit set = active). */
+alignas(32) const int32_t kTailMask[8][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+};
+
+inline __m256i
+tailMask(int64_t rem)
+{
+    return _mm256_load_si256(
+        reinterpret_cast<const __m256i *>(kTailMask[rem]));
+}
+
+/** Gather indices {0, stride, ..., 7*stride} for strided x rows. */
+inline __m256i
+strideIndex(int64_t stride)
+{
+    const int32_t s = static_cast<int32_t>(stride);
+    return _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s,
+                             7 * s);
+}
+
+/**
+ * Fixed horizontal-sum tree: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)),
+ * mirrored exactly by convBwdWeightBlockScalar.
+ */
+inline float
+hsum8(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    const __m128 s = _mm_add_ps(lo, hi);
+    const __m128 s2 = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    const __m128 s3 =
+        _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0x1));
+    return _mm_cvtss_f32(s3);
+}
+
+inline int
+countNonzero(__m256 v)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    return __builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_NEQ_UQ))));
+}
+
+/**
+ * Forward strip: ROWS x NV output vectors held in registers while the
+ * whole tap chunk streams by. The prepared input made every tap
+ * full-range at unit column stride, so the per-tap work is ROWS * NV
+ * load-fused FMAs and nothing else. Partial tail vectors accumulate
+ * up to 7 in-buffer garbage lanes; the masked y load/store drops them,
+ * so the stored lanes see exactly the scalar fmaf sequence.
+ */
+template <int ROWS, int NV>
+inline void
+fwdStrip(const ConvRunTap *taps, int64_t ntaps, const float *xbase,
+         int64_t xrs, int64_t p0, int64_t qs, int64_t qn, float *yplane,
+         int64_t q_ext)
+{
+    const int full = static_cast<int>(qn / 8);
+    const __m256i tmask = tailMask(qn - 8 * full);
+    __m256 acc[ROWS][NV];
+    for (int r = 0; r < ROWS; ++r) {
+        const float *ys = yplane + (p0 + r) * q_ext + qs;
+        for (int v = 0; v < NV; ++v)
+            acc[r][v] = v < full
+                            ? _mm256_loadu_ps(ys + 8 * v)
+                            : _mm256_maskload_ps(ys + 8 * v, tmask);
+    }
+    for (int64_t t = 0; t < ntaps; ++t) {
+        const __m256 wt = _mm256_set1_ps(taps[t].w);
+        const float *x0 = xbase + taps[t].xoff + p0 * xrs + qs;
+        for (int r = 0; r < ROWS; ++r) {
+            const float *xr = x0 + r * xrs;
+            for (int v = 0; v < NV; ++v)
+                acc[r][v] = _mm256_fmadd_ps(
+                    wt, _mm256_loadu_ps(xr + 8 * v), acc[r][v]);
+        }
+    }
+    for (int r = 0; r < ROWS; ++r) {
+        float *ys = yplane + (p0 + r) * q_ext + qs;
+        for (int v = 0; v < NV; ++v) {
+            if (v < full)
+                _mm256_storeu_ps(ys + 8 * v, acc[r][v]);
+            else
+                _mm256_maskstore_ps(ys + 8 * v, tmask, acc[r][v]);
+        }
+    }
+}
+
+template <int ROWS>
+inline void
+fwdStripNv(const ConvRunTap *taps, int64_t ntaps, const float *xbase,
+           int64_t xrs, int64_t p0, int64_t qs, int64_t qn,
+           float *yplane, int64_t q_ext)
+{
+    switch ((qn + 7) / 8) {
+    case 1:
+        fwdStrip<ROWS, 1>(taps, ntaps, xbase, xrs, p0, qs, qn, yplane,
+                          q_ext);
+        break;
+    case 2:
+        fwdStrip<ROWS, 2>(taps, ntaps, xbase, xrs, p0, qs, qn, yplane,
+                          q_ext);
+        break;
+    case 3:
+        fwdStrip<ROWS, 3>(taps, ntaps, xbase, xrs, p0, qs, qn, yplane,
+                          q_ext);
+        break;
+    default:
+        fwdStrip<ROWS, 4>(taps, ntaps, xbase, xrs, p0, qs, qn, yplane,
+                          q_ext);
+        break;
+    }
+}
+
+} // namespace
+
+void
+convFwdPlaneRunAvx2(const ConvRunTap *taps, int64_t ntaps,
+                    const float *xbase, float *yplane, int64_t xrs,
+                    int64_t p_ext, int64_t q_ext)
+{
+    // Strip height trades accumulator registers against per-tap
+    // overhead: narrow planes (<= 2 vectors per row) afford 4 rows;
+    // wide ones stay at 2 (3 rows x 4 vectors spills accumulators).
+    const int64_t rp = q_ext <= 16 ? 4 : 2;
+    for (int64_t p0 = 0; p0 < p_ext; p0 += rp) {
+        const int64_t rows = p_ext - p0 < rp ? p_ext - p0 : rp;
+        for (int64_t qs = 0; qs < q_ext; qs += 32) {
+            const int64_t qn =
+                q_ext - qs < 32 ? q_ext - qs : static_cast<int64_t>(32);
+            switch (rows) {
+            case 1:
+                fwdStripNv<1>(taps, ntaps, xbase, xrs, p0, qs, qn,
+                              yplane, q_ext);
+                break;
+            case 2:
+                fwdStripNv<2>(taps, ntaps, xbase, xrs, p0, qs, qn,
+                              yplane, q_ext);
+                break;
+            case 3:
+                fwdStripNv<3>(taps, ntaps, xbase, xrs, p0, qs, qn,
+                              yplane, q_ext);
+                break;
+            default:
+                fwdStripNv<4>(taps, ntaps, xbase, xrs, p0, qs, qn,
+                              yplane, q_ext);
+                break;
+            }
+        }
+    }
+}
+
+int64_t
+convBwdDataPlaneAvx2(const ConvTap *taps, int64_t ntaps,
+                     const float *wvals, const float *dyplane,
+                     float *dxplane, int64_t in_w, int64_t stride,
+                     int64_t q_ext)
+{
+    // The dx scatter is only contiguous at stride 1; strided rows run
+    // the scalar reference (identical at both dispatch levels).
+    if (stride != 1)
+        return convBwdDataPlaneScalar(taps, ntaps, wvals, dyplane,
+                                      dxplane, in_w, stride, q_ext);
+    int64_t macs = 0;
+    for (int64_t t = 0; t < ntaps; ++t) {
+        const ConvTap &tp = taps[t];
+        if (tp.nq <= 0 || tp.pHi <= tp.pLo)
+            continue;
+        const __m256 wt = _mm256_set1_ps(wvals[t]);
+        for (int64_t p = tp.pLo; p < tp.pHi; ++p) {
+            float *dxr = dxplane + p * in_w + tp.xoff;
+            const float *gr = dyplane + p * q_ext + tp.qLo;
+            int64_t q = 0;
+            for (; q + 8 <= tp.nq; q += 8) {
+                const __m256 g = _mm256_loadu_ps(gr + q);
+                __m256 d = _mm256_loadu_ps(dxr + q);
+                d = _mm256_add_ps(d, _mm256_mul_ps(wt, g));
+                _mm256_storeu_ps(dxr + q, d);
+                macs += countNonzero(g);
+            }
+            const int64_t rem = tp.nq - q;
+            if (rem) {
+                const __m256i m = tailMask(rem);
+                const __m256 g = _mm256_maskload_ps(gr + q, m);
+                __m256 d = _mm256_maskload_ps(dxr + q, m);
+                d = _mm256_add_ps(d, _mm256_mul_ps(wt, g));
+                _mm256_maskstore_ps(dxr + q, m, d);
+                macs += countNonzero(g);   // dead lanes load +0: uncounted
+            }
+        }
+    }
+    return macs;
+}
+
+int64_t
+convBwdWeightBlockAvx2(const ConvTap *taps, int64_t ntaps,
+                       const float *x_chan, const float *dy_chan,
+                       int64_t x_batch_stride, int64_t dy_batch_stride,
+                       int64_t batch, int64_t in_w, int64_t stride,
+                       int64_t q_ext, float *dw_block)
+{
+    const int64_t xrs = stride * in_w;
+    const __m256i vidx = strideIndex(stride);
+    int64_t macs = 0;
+    for (int64_t t = 0; t < ntaps; ++t) {
+        const ConvTap &tp = taps[t];
+        __m256 acc = _mm256_setzero_ps();
+        if (tp.nq > 0 && tp.pHi > tp.pLo) {
+            for (int64_t in = 0; in < batch; ++in) {
+                const float *xp = x_chan + in * x_batch_stride;
+                const float *gp = dy_chan + in * dy_batch_stride;
+                for (int64_t p = tp.pLo; p < tp.pHi; ++p) {
+                    const float *xr = xp + p * xrs + tp.xoff;
+                    const float *gr = gp + p * q_ext + tp.qLo;
+                    int64_t q = 0;
+                    for (; q + 8 <= tp.nq; q += 8) {
+                        const __m256 xv =
+                            stride == 1
+                                ? _mm256_loadu_ps(xr + q)
+                                : _mm256_i32gather_ps(xr + q * stride,
+                                                      vidx, 4);
+                        const __m256 g = _mm256_loadu_ps(gr + q);
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(g, xv));
+                        macs += countNonzero(xv);
+                    }
+                    const int64_t rem = tp.nq - q;
+                    if (rem) {
+                        const __m256i m = tailMask(rem);
+                        __m256 xv;
+                        if (stride == 1) {
+                            xv = _mm256_maskload_ps(xr + q, m);
+                        } else {
+                            xv = _mm256_mask_i32gather_ps(
+                                _mm256_setzero_ps(), xr + q * stride,
+                                vidx, _mm256_castsi256_ps(m), 4);
+                        }
+                        const __m256 g = _mm256_maskload_ps(gr + q, m);
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(g, xv));
+                        macs += countNonzero(xv);
+                    }
+                }
+            }
+        }
+        dw_block[tp.elem] += hsum8(acc);
+    }
+    return macs;
+}
+
+void
+fcFwdTile8Avx2(const int64_t *offsets, const int64_t *index,
+               const float *value, int64_t groups, const float *xtile,
+               float *ytile)
+{
+    for (int64_t o = 0; o < groups; ++o) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int64_t t = offsets[o]; t < offsets[o + 1]; ++t) {
+            const __m256 v = _mm256_set1_ps(value[t]);
+            const __m256 xv = _mm256_loadu_ps(xtile + index[t] * 8);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(v, xv));
+        }
+        _mm256_storeu_ps(ytile + o * 8, acc);
+    }
+}
+
+int64_t
+fcBwdDataTile8Avx2(const int64_t *offsets, const int64_t *index,
+                   const float *value, int64_t groups,
+                   const float *dytile, float *dxtile)
+{
+    int64_t macs = 0;
+    for (int64_t i = 0; i < groups; ++i) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int64_t t = offsets[i]; t < offsets[i + 1]; ++t) {
+            const __m256 v = _mm256_set1_ps(value[t]);
+            const __m256 g = _mm256_loadu_ps(dytile + index[t] * 8);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(v, g));
+            macs += countNonzero(g);
+        }
+        _mm256_storeu_ps(dxtile + i * 8, acc);
+    }
+    return macs;
+}
+
+int64_t
+fcWuFillAvx2(const int32_t *idx32, const int32_t *row32, int64_t nnz,
+             const float *xr, const float *dyr, float *slot)
+{
+    int64_t macs = 0;
+    int64_t t = 0;
+    for (; t + 8 <= nnz; t += 8) {
+        const __m256i vi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(idx32 + t));
+        const __m256i vr = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row32 + t));
+        const __m256 xv = _mm256_i32gather_ps(xr, vi, 4);
+        const __m256 g = _mm256_i32gather_ps(dyr, vr, 4);
+        // Zero x lanes write dy * ±0 where the scalar reference writes
+        // +0 — scratch-only ±0 noise the sample-ordered reduction is
+        // provably insensitive to (see sparse_microkernels.h).
+        _mm256_storeu_ps(slot + t, _mm256_mul_ps(g, xv));
+        macs += countNonzero(xv);
+    }
+    for (; t < nnz; ++t) {
+        const float xv = xr[idx32[t]];
+        if (xv == 0.0f) {
+            slot[t] = 0.0f;
+            continue;
+        }
+        slot[t] = dyr[row32[t]] * xv;
+        ++macs;
+    }
+    return macs;
+}
+
+void
+fcWuReduceAvx2(const int32_t *di32, const float *part, int64_t nnz,
+               int64_t samples, int64_t t0, int64_t t1, float *pdw)
+{
+    int64_t t = t0;
+    for (; t + 8 <= t1; t += 8) {
+        const __m256i vdi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(di32 + t));
+        // Live (o, i) pairs are distinct, so the dW slots of 8 adjacent
+        // taps never alias: gather-accumulate-scatter is safe, and each
+        // slot still sums its partials in sample order — bitwise equal
+        // to the scalar reduction.
+        __m256 acc = _mm256_i32gather_ps(pdw, vdi, 4);
+        for (int64_t s = 0; s < samples; ++s)
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(part + s * nnz + t));
+        alignas(32) float out[8];
+        _mm256_store_ps(out, acc);
+        for (int l = 0; l < 8; ++l)
+            pdw[di32[t + l]] = out[l];
+    }
+    for (; t < t1; ++t) {
+        const int64_t di = di32[t];
+        float acc = pdw[di];
+        for (int64_t s = 0; s < samples; ++s)
+            acc += part[s * nnz + t];
+        pdw[di] = acc;
+    }
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace procrustes
+
+#endif // PROCRUSTES_HAVE_AVX2

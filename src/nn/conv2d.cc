@@ -117,7 +117,9 @@ Conv2d::stepReport(LayerStepReport *out) const
     // only O(numel) work, so the extra encode is acceptable.
     out->hasWeightBytes = true;
     out->csbWeightBytes =
-        sparse::CsbTensor::encodeConvFilters(weight_.value).totalBytes();
+        sparse::CsbTensor::encodeConvFilters(weight_.value,
+                                             storagePrecision_)
+            .totalBytes();
     out->denseWeightBytes =
         sparse::CsbTensor::denseBytes(weight_.value.shape());
 
@@ -150,11 +152,30 @@ Conv2d::forwardSparse(const Tensor &x)
     // Encode once per step: the weights cannot change between this
     // forward and the matching backward, so the backward passes reuse
     // the same compressed blocks (as the accelerator streams one CSB
-    // image of the weights through all three phases).
-    cachedCsb_ = sparse::CsbTensor::encodeConvFilters(weight_.value);
+    // image of the weights through all three phases). The packed tap
+    // geometry additionally survives *across* steps: while the mask
+    // epoch and input geometry are unchanged, only the values differ,
+    // and the executors re-read those from the CsbTensor each call.
+    const Shape &xs = x.shape();
+    sparse::CsbTensor fresh = sparse::CsbTensor::encodeConvFilters(
+        weight_.value, storagePrecision_);
+    const bool mask_same =
+        csbValid_ && fresh.sameMaskAs(cachedCsb_) &&
+        cachedPack_.matches(xs[2], xs[3], cfg_.stride, cfg_.pad);
+    cachedCsb_ = std::move(fresh);
+    if (!mask_same) {
+        cachedPack_ = kernels::packConvTaps(cachedCsb_, xs[2], xs[3],
+                                            cfg_.stride, cfg_.pad);
+    }
     csbValid_ = true;
-    Tensor y = sparse::sparseConvForward(x, cachedCsb_, cfg_.stride,
-                                         cfg_.pad, &lastFwMacs_);
+    // Under the bf16 tier the activations are stored rounded: compute
+    // reads the image a 2-byte buffer would reproduce, and the cached
+    // input (the weight-update operand) is that same image.
+    if (storagePrecision_ == Precision::kBf16)
+        cachedInput_ = bf16RoundedCopy(x);
+    Tensor y = sparse::sparseConvForward(cachedInput_, cachedCsb_,
+                                         cfg_.stride, cfg_.pad,
+                                         &lastFwMacs_, &cachedPack_);
     if (cfg_.bias) {
         const Shape &ys = y.shape();
         const int64_t n = ys[0];
@@ -180,12 +201,13 @@ Conv2d::backwardSparse(const Tensor &dy)
     PROCRUSTES_ASSERT(csbValid_, "sparse backward before sparse forward");
     Tensor dx = sparse::sparseConvBackwardData(
         dy, cachedCsb_, cachedInput_.shape(), cfg_.stride, cfg_.pad,
-        &lastBwDataMacs_);
+        &lastBwDataMacs_, &cachedPack_);
     // Weight-update pass through the same CSB blocks: only mask-live
     // positions accumulate gradient, pruned weights stay frozen.
     sparse::sparseConvBackwardWeights(cachedInput_, dy, cachedCsb_,
                                       cfg_.stride, cfg_.pad,
-                                      &weight_.grad, &lastBwWeightMacs_);
+                                      &weight_.grad, &lastBwWeightMacs_,
+                                      &cachedPack_);
     if (cfg_.bias) {
         const Shape &dys = dy.shape();
         const int64_t n = dys[0];

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "kernels/backend.h"
+#include "kernels/sparse_microkernels.h"
 #include "nn/layer.h"
 #include "sparse/csb.h"
 
@@ -83,6 +84,16 @@ class Conv2d : public Layer
     kernels::KernelBackend backend() const { return backend_; }
     void setBackend(kernels::KernelBackend b) { backend_ = b; }
 
+    /**
+     * Storage tier modelled for weights and activations under kSparse
+     * (defaults to PROCRUSTES_STORAGE_PRECISION). Under kBf16 the
+     * weights are rounded through bf16 at encode time and the cached
+     * input is the bf16-rounded image — compute stays fp32 — and the
+     * telemetry's CSB byte counts price 2-byte values.
+     */
+    Precision storagePrecision() const { return storagePrecision_; }
+    void setStoragePrecision(Precision p) { storagePrecision_ = p; }
+
     /** Output spatial extent for an input extent (shared with tests). */
     int64_t
     outExtent(int64_t in) const
@@ -106,7 +117,11 @@ class Conv2d : public Layer
     Tensor cachedOutput_;  //!< COW alias for lazy density telemetry
     sparse::CsbTensor cachedCsb_;  //!< kSparse: weights encoded at
                                    //!< forward, reused by backward
+    kernels::ConvTapPack cachedPack_;  //!< packed tap geometry, reused
+                                       //!< across steps while the mask
+                                       //!< epoch + input geometry hold
     bool csbValid_ = false;
+    Precision storagePrecision_ = defaultStoragePrecision();
 
     /** @name Step telemetry captured by forward/backward. */
     /**@{*/

@@ -16,6 +16,13 @@ measureInputDensities(const Tensor &x, LayerStepReport *out)
 
     // One pass over the batch: per-(sample, channel) non-zero counts,
     // from which every aggregate the cost model consumes derives.
+    // Rank-4 inputs additionally accumulate the spatial marginals the
+    // P,Q tile pairings consume (per input row / column).
+    const bool spatial = xs.rank() == 4;
+    const int64_t h_ext = spatial ? xs[2] : 1;
+    const int64_t w_ext = spatial ? xs[3] : 1;
+    std::vector<int64_t> row_cnt(static_cast<size_t>(h_ext), 0);
+    std::vector<int64_t> col_cnt(static_cast<size_t>(w_ext), 0);
     std::vector<int64_t> nnz(static_cast<size_t>(n * c), 0);
     const float *px = x.data();
     for (int64_t in = 0; in < n; ++in) {
@@ -23,11 +30,31 @@ measureInputDensities(const Tensor &x, LayerStepReport *out)
             const float *row = px + (in * c + ic) * plane;
             int64_t cnt = 0;
             for (int64_t i = 0; i < plane; ++i) {
-                if (row[i] != 0.0f)
+                if (row[i] != 0.0f) {
                     ++cnt;
+                    if (spatial) {
+                        ++row_cnt[static_cast<size_t>(i / w_ext)];
+                        ++col_cnt[static_cast<size_t>(i % w_ext)];
+                    }
+                }
             }
             nnz[static_cast<size_t>(in * c + ic)] = cnt;
         }
+    }
+    if (spatial) {
+        out->inputRowDensity.assign(static_cast<size_t>(h_ext), 0.0);
+        out->inputColDensity.assign(static_cast<size_t>(w_ext), 0.0);
+        for (int64_t r = 0; r < h_ext; ++r)
+            out->inputRowDensity[static_cast<size_t>(r)] =
+                static_cast<double>(row_cnt[static_cast<size_t>(r)]) /
+                static_cast<double>(n * c * w_ext);
+        for (int64_t col = 0; col < w_ext; ++col)
+            out->inputColDensity[static_cast<size_t>(col)] =
+                static_cast<double>(col_cnt[static_cast<size_t>(col)]) /
+                static_cast<double>(n * c * h_ext);
+    } else {
+        out->inputRowDensity.clear();
+        out->inputColDensity.clear();
     }
 
     const int64_t c_split = c / 2;

@@ -106,6 +106,12 @@ struct LayerStepReport
     /** Per-sample halves split along C, [batch * 2]; the two halves of
         sample n sum to inputSampleDensity[n]. */
     std::vector<double> inputSampleHalfDensity;
+    /** Spatial marginals of the forward input, rank-4 layers only
+        (empty otherwise): density of input row h across all (n, c, w)
+        and of input column w across all (n, c, h). Consumers map an
+        output location to min(idx * stride, extent - 1). */
+    std::vector<double> inputRowDensity;     //!< [H]
+    std::vector<double> inputColDensity;     //!< [W]
     /**@}*/
 };
 

@@ -98,7 +98,8 @@ Linear::stepReport(LayerStepReport *out) const
     // only O(numel) work, so the extra encode is acceptable.
     out->hasWeightBytes = true;
     out->csbWeightBytes =
-        sparse::CsbTensor::encodeMatrix(weight_.value, kCsbBlockSide)
+        sparse::CsbTensor::encodeMatrix(weight_.value, kCsbBlockSide,
+                                        storagePrecision_)
             .totalBytes();
     out->denseWeightBytes =
         sparse::CsbTensor::denseBytes(weight_.value.shape());
@@ -130,15 +131,24 @@ Linear::forwardSparse(const Tensor &x)
     // Encode once per step: the weights cannot change between this
     // forward and the matching backward, so the backward passes reuse
     // the same compressed blocks (as the accelerator streams one CSB
-    // image of the weights through all three phases). Both traversal
-    // views are gathered here too, so the three executor calls of the
-    // step share one O(O*I) block walk.
-    cachedCsb_ =
-        sparse::CsbTensor::encodeMatrix(weight_.value, kCsbBlockSide);
-    cachedTaps_ = sparse::gatherFcTapViews(cachedCsb_);
+    // image of the weights through all three phases). The tap views'
+    // geometry (indices, offsets, permutation, weight-update aux) only
+    // depends on the mask, so while the mask epoch holds across steps
+    // only the packed values are refreshed — an O(nnz) copy instead of
+    // the O(O*I) block walk.
+    sparse::CsbTensor fresh = sparse::CsbTensor::encodeMatrix(
+        weight_.value, kCsbBlockSide, storagePrecision_);
+    const bool mask_same = csbValid_ && fresh.sameMaskAs(cachedCsb_);
+    cachedCsb_ = std::move(fresh);
+    if (mask_same)
+        sparse::refreshFcTapValues(cachedCsb_, &cachedTaps_);
+    else
+        cachedTaps_ = sparse::gatherFcTapViews(cachedCsb_);
     csbValid_ = true;
-    Tensor y = sparse::sparseLinearForward(x, cachedCsb_, &lastFwMacs_,
-                                           &cachedTaps_);
+    if (storagePrecision_ == Precision::kBf16)
+        cachedInput_ = bf16RoundedCopy(x);
+    Tensor y = sparse::sparseLinearForward(cachedInput_, cachedCsb_,
+                                           &lastFwMacs_, &cachedTaps_);
     if (hasBias_)
         addBias(&y);
     return y;

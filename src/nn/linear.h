@@ -73,6 +73,16 @@ class Linear : public Layer
     kernels::KernelBackend backend() const { return backend_; }
     void setBackend(kernels::KernelBackend b) { backend_ = b; }
 
+    /**
+     * Storage tier modelled for weights and activations under kSparse
+     * (defaults to PROCRUSTES_STORAGE_PRECISION). Under kBf16 the
+     * weights are rounded through bf16 at encode time and the cached
+     * input is the bf16-rounded batch — compute stays fp32 — and the
+     * telemetry's CSB byte counts price 2-byte values.
+     */
+    Precision storagePrecision() const { return storagePrecision_; }
+    void setStoragePrecision(Precision p) { storagePrecision_ = p; }
+
   private:
     Tensor forwardNaive(const Tensor &x);
     Tensor backwardNaive(const Tensor &dy);
@@ -99,8 +109,12 @@ class Linear : public Layer
     sparse::CsbTensor cachedCsb_;  //!< kSparse: weights encoded at
                                    //!< forward, reused by backward
     sparse::FcTapViews cachedTaps_;   //!< both traversal views of
-                                      //!< cachedCsb_, gathered once
+                                      //!< cachedCsb_; geometry is
+                                      //!< reused across steps while the
+                                      //!< mask epoch holds (values are
+                                      //!< refreshed in O(nnz))
     bool csbValid_ = false;
+    Precision storagePrecision_ = defaultStoragePrecision();
     bool backwardSeen_ = false;
     std::vector<float> wtScratch_;    //!< W^T staging, reused per call
     std::vector<float> dytScratch_;   //!< dy^T staging, reused per call

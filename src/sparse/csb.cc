@@ -6,19 +6,20 @@ namespace procrustes {
 namespace sparse {
 
 CsbTensor
-CsbTensor::encodeConvFilters(const Tensor &w)
+CsbTensor::encodeConvFilters(const Tensor &w, Precision storage)
 {
     PROCRUSTES_ASSERT(w.shape().rank() == 4,
                       "conv filters must be [K, C, R, S]");
-    return encodeBlocks(w, Kind::ConvFilters, /*block_side=*/0);
+    return encodeBlocks(w, Kind::ConvFilters, /*block_side=*/0, storage);
 }
 
 CsbTensor
-CsbTensor::encodeMatrix(const Tensor &w, int64_t block_side)
+CsbTensor::encodeMatrix(const Tensor &w, int64_t block_side,
+                        Precision storage)
 {
     PROCRUSTES_ASSERT(w.shape().rank() == 2, "matrix must be [O, I]");
     PROCRUSTES_ASSERT(block_side > 0, "block side must be positive");
-    return encodeBlocks(w, Kind::Matrix, block_side);
+    return encodeBlocks(w, Kind::Matrix, block_side, storage);
 }
 
 int64_t
@@ -43,10 +44,12 @@ CsbTensor::denseIndex(int64_t b, int64_t e) const
 }
 
 CsbTensor
-CsbTensor::encodeBlocks(const Tensor &w, Kind kind, int64_t block_side)
+CsbTensor::encodeBlocks(const Tensor &w, Kind kind, int64_t block_side,
+                        Precision storage)
 {
     CsbTensor out;
     out.kind_ = kind;
+    out.precision_ = storage;
     out.denseShape_ = w.shape();
 
     int64_t num_blocks;
@@ -72,7 +75,12 @@ CsbTensor::encodeBlocks(const Tensor &w, Kind kind, int64_t block_side)
             const int64_t di = out.denseIndex(b, e);
             if (di < 0)
                 continue;
-            const float v = pw[di];
+            // Round through the storage tier *before* the liveness
+            // test so the mask and the value stream agree on which
+            // positions are zero (bf16 can flush |x| < 2^-133 to 0).
+            const float v = storage == Precision::kBf16
+                                ? bf16Round(pw[di])
+                                : pw[di];
             if (v != 0.0f) {
                 out.values_.push_back(v);
                 const int64_t bit = b * out.blockElems_ + e;
@@ -189,6 +197,17 @@ int64_t
 CsbTensor::totalBytes() const
 {
     return valueBytes() + maskBytes() + pointerBytes();
+}
+
+bool
+CsbTensor::sameMaskAs(const CsbTensor &other) const
+{
+    return kind_ == other.kind_ && denseShape_ == other.denseShape_ &&
+           blockElems_ == other.blockElems_ &&
+           blockSide_ == other.blockSide_ &&
+           blocksPerRow_ == other.blocksPerRow_ &&
+           pointers_ == other.pointers_ &&
+           maskWords_ == other.maskWords_;
 }
 
 } // namespace sparse

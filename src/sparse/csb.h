@@ -49,14 +49,18 @@ class CsbTensor
     /**
      * Encode dense conv filters [K, C, R, S]; one block per (k, c)
      * kernel, so the region size adapts to the layer's kernel size.
+     * With a bf16 storage tier the values are rounded through bf16
+     * *before* the liveness test, so mask and values stay consistent.
      */
-    static CsbTensor encodeConvFilters(const Tensor &w);
+    static CsbTensor encodeConvFilters(
+        const Tensor &w, Precision storage = Precision::kFp32);
 
     /**
      * Encode a dense fc weight matrix [O, I] into square blocks of the
      * given side; edge blocks cover the in-range remainder.
      */
-    static CsbTensor encodeMatrix(const Tensor &w, int64_t block_side);
+    static CsbTensor encodeMatrix(const Tensor &w, int64_t block_side,
+                                  Precision storage = Precision::kFp32);
 
     /** Reconstruct the dense tensor. */
     Tensor decode() const;
@@ -118,18 +122,52 @@ class CsbTensor
     /** Dense shape this tensor decodes to. */
     const Shape &denseShape() const { return denseShape_; }
 
+    /**
+     * Raw packed value stream (mask traversal order). The executors'
+     * pre-packed tap geometry indexes into this array, so packs built
+     * against one encode stay valid for any later encode with the same
+     * mask — only the values change.
+     */
+    const float *valuesData() const { return values_.data(); }
+
+    /** Offset of block b's first value in the packed value stream. */
+    int64_t
+    blockValueOffset(int64_t b) const
+    {
+        return static_cast<int64_t>(pointers_[static_cast<size_t>(b)]);
+    }
+
+    /**
+     * True if the other tensor has an identical sparsity structure:
+     * same kind, dense shape, block geometry, pointers, and mask bits.
+     * Values (and storage precision) may differ. This is the
+     * mask-epoch test the layers use to decide whether cached tap
+     * geometry can be reused across optimizer steps.
+     */
+    bool sameMaskAs(const CsbTensor &other) const;
+
+    /** Storage tier of the packed value array (kFp32 or kBf16). */
+    Precision storagePrecision() const { return precision_; }
+
     /** @name Storage accounting for the cost model. */
     /**@{*/
-    int64_t valueBytes() const { return nnz() * 4; }
+    int64_t valueBytes() const
+    {
+        return nnz() * precisionBytes(precision_);
+    }
     int64_t maskBytes() const;      //!< 1 bit per dense element
     int64_t pointerBytes() const { return (numBlocks() + 1) * 4; }
     int64_t totalBytes() const;
-    static int64_t denseBytes(const Shape &s) { return s.numel() * 4; }
+    static int64_t
+    denseBytes(const Shape &s, Precision storage = Precision::kFp32)
+    {
+        return s.numel() * precisionBytes(storage);
+    }
     /**@}*/
 
   private:
     static CsbTensor encodeBlocks(const Tensor &w, Kind kind,
-                                  int64_t block_side);
+                                  int64_t block_side, Precision storage);
 
     /** Flat dense index of element e of block b. */
     int64_t denseIndex(int64_t b, int64_t e) const;
@@ -144,6 +182,7 @@ class CsbTensor
     }
 
     Kind kind_ = Kind::ConvFilters;
+    Precision precision_ = Precision::kFp32;
     Shape denseShape_;
     int64_t blockElems_ = 0;
     int64_t blockSide_ = 0;        //!< Matrix kind: block side length

@@ -1,9 +1,12 @@
 #include "sparse/sparse_conv.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/scratch_arena.h"
 #include "common/thread_pool.h"
 #include "kernels/im2col.h"   // validOutRange: the shared padding clip
 
@@ -34,26 +37,27 @@ struct Tap
     int64_t qLo, qHi;   //!< valid output cols [qLo, qHi)
 };
 
-/** Gather the non-zero taps of block b (zero-skipping, as the PEs do). */
-void
-gatherTaps(const CsbTensor &w, int64_t b, int64_t s_ext, int64_t h,
-           int64_t width, int64_t p_ext, int64_t q_ext, int64_t stride,
-           int64_t pad, std::vector<Tap> *taps)
+/**
+ * Use the caller's tap pack when it matches this (mask, geometry) pair;
+ * otherwise build one into `local` and return that. A caller-provided
+ * pack with the wrong geometry is a contract violation, not a cache
+ * miss — the layers test matches() themselves before passing one.
+ */
+const kernels::ConvTapPack *
+resolvePack(const kernels::ConvTapPack *pack, const CsbTensor &w,
+            int64_t h, int64_t width, int64_t stride, int64_t pad,
+            kernels::ConvTapPack *local)
 {
-    taps->clear();
-    const auto vals = w.blockDense(b);
-    for (int64_t e = 0; e < w.blockElems(); ++e) {
-        const float wt = vals[static_cast<size_t>(e)];
-        if (wt == 0.0f)
-            continue;
-        Tap t;
-        t.wt = wt;
-        t.r = e / s_ext;
-        t.s = e % s_ext;
-        validOutRange(p_ext, h, t.r, stride, pad, &t.pLo, &t.pHi);
-        validOutRange(q_ext, width, t.s, stride, pad, &t.qLo, &t.qHi);
-        taps->push_back(t);
+    if (pack) {
+        PROCRUSTES_ASSERT(pack->matches(h, width, stride, pad),
+                          "conv tap pack geometry mismatch");
+        PROCRUSTES_ASSERT(static_cast<int64_t>(pack->blockOff.size()) ==
+                              w.numBlocks() + 1,
+                          "conv tap pack block count mismatch");
+        return pack;
     }
+    *local = kernels::packConvTaps(w, h, width, stride, pad);
+    return local;
 }
 
 /**
@@ -84,7 +88,8 @@ gatherMaskTaps(const CsbTensor &w, int64_t b, int64_t s_ext, int64_t h,
 
 Tensor
 sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
-                  int64_t pad, int64_t *macs)
+                  int64_t pad, int64_t *macs,
+                  const kernels::ConvTapPack *pack)
 {
     PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
                       "weights must be CSB conv filters");
@@ -106,46 +111,136 @@ sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
     const float *px = x.data();
     float *py = y.data();
 
+    kernels::ConvTapPack local_pack;
+    pack = resolvePack(pack, w, h, width, stride, pad, &local_pack);
+    const kernels::ConvTap *all_taps = pack->taps.data();
+    const float *wvals = w.valuesData();
+
+    // Prepare the input once per call: zero-padded and phase-split by
+    // the column stride, so every mask-live tap becomes a full-range
+    // unit-stride streak over one contiguous row segment — the forward
+    // kernel then needs no range masks and no gathers. Phase layout:
+    // padded column cp lands in slot (cp % stride) * slots + cp /
+    // stride of its row; a tap at kernel column s reads phase s %
+    // stride starting at slot s / stride. The trailing 8 floats of
+    // slack license the kernel's read-past-tail vectors. The copy is
+    // amortized over all k output channels that reuse it.
+    const int64_t hp = h + 2 * pad;
+    const int64_t wp = width + 2 * pad;
+    const int64_t slots = (wp + stride - 1) / stride;
+    const int64_t wpp = slots * stride;
+    const int64_t plane_sz = hp * wpp;
+    ScratchArena::Buffer xprep = ScratchArena::global().acquire(
+        static_cast<size_t>(n * c * plane_sz + 8));
+    xprep.zero();   // pad rows/columns and the tail slack must read 0
+    float *xp = xprep.data();
+    ThreadPool::global().parallelFor(
+        0, n * c, [&](int64_t pc0, int64_t pc1) {
+            for (int64_t pc = pc0; pc < pc1; ++pc) {
+                const float *src = px + pc * h * width;
+                float *dst = xp + pc * plane_sz;
+                for (int64_t hr = 0; hr < h; ++hr) {
+                    const float *srow = src + hr * width;
+                    float *drow = dst + (hr + pad) * wpp;
+                    if (stride == 1) {
+                        std::memcpy(drow + pad, srow,
+                                    static_cast<size_t>(width) *
+                                        sizeof(float));
+                        continue;
+                    }
+                    // Phase-major so the per-element divisions hoist
+                    // out of the inner loop: padded column slot *
+                    // stride + ph holds source column slot * stride +
+                    // ph - pad.
+                    for (int64_t ph = 0; ph < stride; ++ph) {
+                        float *dph = drow + ph * slots;
+                        int64_t slot =
+                            ph >= pad
+                                ? 0
+                                : (pad - ph + stride - 1) / stride;
+                        const int64_t last =
+                            (pad + width - 1 - ph) / stride;
+                        const float *s =
+                            srow + slot * stride + ph - pad;
+                        for (; slot <= last; ++slot, s += stride)
+                            dph[slot] = *s;
+                    }
+                }
+            }
+        });
+
     // Block-major traversal, partitioned over output channels: each
     // task owns the y[:, ok, :, :] planes of its ok range, so threads
     // accumulate into private output slices in a fixed order and the
     // result is deterministic. Zero blocks and zero weights are
-    // skipped exactly as the PEs skip them. The executed-MAC tally is
-    // per-tap arithmetic (clipped extents x batch), not an inner-loop
-    // counter, so it costs nothing.
+    // skipped exactly as the PEs skip them — the pack holds mask-live
+    // taps only. Per ok the input-channel sweep is flattened into one
+    // homogeneous tap stream (channel plane, kernel row, and phase
+    // slot folded into xoff; weight value copied in), split into
+    // L1-sized input-channel chunks so the output-stationary kernel
+    // re-reads hot x rows from cache; chunks accumulate into y in
+    // fixed ic order, which keeps the per-element addition sequence
+    // identical at every thread count and SIMD level. The executed-MAC
+    // tally is per-tap arithmetic (clipped extents x batch), not an
+    // inner-loop counter, so it costs nothing — padding adds exact
+    // zeros the PEs would skip, and the tally does not count them.
+    // Mirror the AVX2 strip height (4 rows on narrow planes, 2 wide)
+    // so the chunk's per-plane footprint estimate matches what one
+    // strip visit actually touches.
+    const int64_t strip_rows = q_ext <= 16 ? 4 : 2;
+    const int64_t strip_bytes =
+        (r_ext + stride * (strip_rows - 1)) * 40 * 4;
+    const int64_t ic_chunk =
+        std::max<int64_t>(1, 24576 / std::max<int64_t>(1, strip_bytes));
     std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, k, [&](int64_t ok0, int64_t ok1) {
-        std::vector<Tap> taps;
         int64_t local_macs = 0;
+        std::vector<kernels::ConvRunTap> run;
+        std::vector<int64_t> chunk;
         for (int64_t ok = ok0; ok < ok1; ++ok) {
+            run.clear();
+            chunk.clear();
             for (int64_t ic = 0; ic < c; ++ic) {
+                if (ic % ic_chunk == 0)
+                    chunk.push_back(static_cast<int64_t>(run.size()));
                 const int64_t b = ok * c + ic;
-                if (w.blockNnz(b) == 0)
+                const int64_t t0 = pack->blockOff[static_cast<size_t>(b)];
+                const int64_t ntaps =
+                    pack->blockOff[static_cast<size_t>(b) + 1] - t0;
+                if (ntaps == 0)
                     continue;   // density known from pointer subtraction
-                gatherTaps(w, b, s_ext, h, width, p_ext, q_ext, stride,
-                           pad, &taps);
-                for (const Tap &t : taps)
-                    local_macs += (t.pHi - t.pLo) * (t.qHi - t.qLo) * n;
+                const kernels::ConvTap *taps = all_taps + t0;
+                const float *bvals = wvals + w.blockValueOffset(b);
+                const int64_t plane = ic * plane_sz;
+                for (int64_t t = 0; t < ntaps; ++t) {
+                    const kernels::ConvTap &tp = taps[t];
+                    if (tp.nq <= 0 || tp.pHi <= tp.pLo)
+                        continue;   // fully clipped: contributes nothing
+                    local_macs += static_cast<int64_t>(tp.pHi - tp.pLo) *
+                                  tp.nq * n;
+                    const int64_t r = tp.elem / s_ext;
+                    const int64_t s = tp.elem % s_ext;
+                    kernels::ConvRunTap rt;
+                    rt.xoff = plane + r * wpp + (s % stride) * slots +
+                              s / stride;
+                    rt.w = bvals[t];
+                    run.push_back(rt);
+                }
+            }
+            if (run.empty())
+                continue;   // y planes stay zero
+            chunk.push_back(static_cast<int64_t>(run.size()));
+            for (size_t ci = 0; ci + 1 < chunk.size(); ++ci) {
+                const int64_t cs = chunk[ci];
+                const int64_t ce = chunk[ci + 1];
+                if (ce == cs)
+                    continue;
                 for (int64_t in = 0; in < n; ++in) {
-                    const float *xplane = px + (in * c + ic) * h * width;
-                    float *yplane =
-                        py + (in * k + ok) * p_ext * q_ext;
-                    for (const Tap &t : taps) {
-                        // Fold qLo into the base so the pointer never
-                        // points before the buffer (s < pad would
-                        // otherwise form an out-of-bounds base).
-                        const int64_t iw0 =
-                            t.qLo * stride + t.s - pad;
-                        for (int64_t p = t.pLo; p < t.pHi; ++p) {
-                            const float *xrow =
-                                xplane +
-                                (p * stride + t.r - pad) * width + iw0;
-                            float *yrow = yplane + p * q_ext + t.qLo;
-                            const int64_t nq = t.qHi - t.qLo;
-                            for (int64_t q = 0; q < nq; ++q)
-                                yrow[q] += t.wt * xrow[q * stride];
-                        }
-                    }
+                    kernels::sparseConvFwdPlaneRun(
+                        run.data() + cs, ce - cs,
+                        xp + in * c * plane_sz,
+                        py + (in * k + ok) * p_ext * q_ext,
+                        stride * wpp, p_ext, q_ext);
                 }
             }
         }
@@ -159,7 +254,8 @@ sparseConvForward(const Tensor &x, const CsbTensor &w, int64_t stride,
 Tensor
 sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                        const Shape &x_shape, int64_t stride,
-                       int64_t pad, int64_t *macs)
+                       int64_t pad, int64_t *macs,
+                       const kernels::ConvTapPack *pack)
 {
     PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
                       "weights must be CSB conv filters");
@@ -182,6 +278,11 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
     const float *pdy = dy.data();
     float *pdx = dx.data();
 
+    kernels::ConvTapPack local_pack;
+    pack = resolvePack(pack, w, h, width, stride, pad, &local_pack);
+    const kernels::ConvTap *all_taps = pack->taps.data();
+    const float *wvals = w.valuesData();
+
     // The backward pass consumes the same packed blocks through the
     // 180-degree-rotated view (Figure 2b). Partitioning over input
     // channels makes each task's dx[:, ic, :, :] planes private, so
@@ -191,39 +292,25 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
     // of per-chunk integers, so it is thread-count invariant too.
     std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, c, [&](int64_t ic0, int64_t ic1) {
-        std::vector<Tap> taps;
         int64_t local_macs = 0;
         for (int64_t ic = ic0; ic < ic1; ++ic) {
             for (int64_t ok = 0; ok < k; ++ok) {
                 const int64_t b = ok * c + ic;
-                if (w.blockNnz(b) == 0)
+                const int64_t t0 = pack->blockOff[static_cast<size_t>(b)];
+                const int64_t ntaps =
+                    pack->blockOff[static_cast<size_t>(b) + 1] - t0;
+                if (ntaps == 0)
                     continue;
-                gatherTaps(w, b, s_ext, h, width, p_ext, q_ext, stride,
-                           pad, &taps);
+                const kernels::ConvTap *taps = all_taps + t0;
+                const float *bvals = wvals + w.blockValueOffset(b);
                 for (int64_t in = 0; in < n; ++in) {
                     const float *dyplane =
                         pdy + (in * k + ok) * p_ext * q_ext;
                     float *dxplane =
                         pdx + (in * c + ic) * h * width;
-                    for (const Tap &t : taps) {
-                        const int64_t iw0 =
-                            t.qLo * stride + t.s - pad;
-                        for (int64_t p = t.pLo; p < t.pHi; ++p) {
-                            float *dxrow =
-                                dxplane +
-                                (p * stride + t.r - pad) * width + iw0;
-                            const float *dyrow =
-                                dyplane + p * q_ext + t.qLo;
-                            const int64_t nq = t.qHi - t.qLo;
-                            for (int64_t q = 0; q < nq; ++q) {
-                                const float g = dyrow[q];
-                                if (g == 0.0f)
-                                    continue;
-                                dxrow[q * stride] += t.wt * g;
-                                ++local_macs;
-                            }
-                        }
-                    }
+                    local_macs += kernels::sparseConvBwdDataPlane(
+                        taps, ntaps, bvals, dyplane, dxplane, width,
+                        stride, q_ext);
                 }
             }
         }
@@ -237,7 +324,8 @@ sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
 void
 sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
                           const CsbTensor &w, int64_t stride,
-                          int64_t pad, Tensor *dw, int64_t *macs)
+                          int64_t pad, Tensor *dw, int64_t *macs,
+                          const kernels::ConvTapPack *pack)
 {
     PROCRUSTES_ASSERT(w.kind() == CsbTensor::Kind::ConvFilters,
                       "weights must be CSB conv filters");
@@ -263,52 +351,37 @@ sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
     const float *pdy = dy.data();
     float *pdw = dw->data();
 
+    kernels::ConvTapPack local_pack;
+    pack = resolvePack(pack, w, h, width, stride, pad, &local_pack);
+    const kernels::ConvTap *all_taps = pack->taps.data();
+
     // The weight-update pass walks the same blocks as the other two
     // phases, but its output is the weight space itself: partitioning
     // over output channels makes each task's dW[ok, :, :, :] slice
-    // private, and every live tap reduces its (n, p, q) space in a
-    // fixed order — deterministic for any thread count. Pruned taps
-    // are never touched, so their dW entries stay exactly as given.
-    // Zero activations — the ReLU zeros that make x the sparse operand
-    // of this phase — are skipped, and the executed MACs tallied.
+    // private, and every live tap reduces its (n, p, q) space in the
+    // fixed 8-lane microkernel schedule — deterministic for any thread
+    // count and SIMD level. Pruned taps are never touched, so their dW
+    // entries stay exactly as given. Zero activations — the ReLU zeros
+    // that make x the sparse operand of this phase — contribute exact
+    // zeros and are excluded from the executed-MAC tally.
     std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, k, [&](int64_t ok0, int64_t ok1) {
-        std::vector<Tap> taps;
         int64_t local_macs = 0;
         for (int64_t ok = ok0; ok < ok1; ++ok) {
             for (int64_t ic = 0; ic < c; ++ic) {
                 const int64_t b = ok * c + ic;
-                if (w.blockNnz(b) == 0)
+                const int64_t t0 = pack->blockOff[static_cast<size_t>(b)];
+                const int64_t ntaps =
+                    pack->blockOff[static_cast<size_t>(b) + 1] - t0;
+                if (ntaps == 0)
                     continue;
-                gatherMaskTaps(w, b, s_ext, h, width, p_ext, q_ext,
-                               stride, pad, &taps);
-                for (const Tap &t : taps) {
-                    const int64_t iw0 = t.qLo * stride + t.s - pad;
-                    float acc = 0.0f;
-                    for (int64_t in = 0; in < n; ++in) {
-                        const float *dyplane =
-                            pdy + (in * k + ok) * p_ext * q_ext;
-                        const float *xplane =
-                            px + (in * c + ic) * h * width;
-                        for (int64_t p = t.pLo; p < t.pHi; ++p) {
-                            const float *xrow =
-                                xplane +
-                                (p * stride + t.r - pad) * width + iw0;
-                            const float *dyrow =
-                                dyplane + p * q_ext + t.qLo;
-                            const int64_t nq = t.qHi - t.qLo;
-                            for (int64_t q = 0; q < nq; ++q) {
-                                const float xv = xrow[q * stride];
-                                if (xv == 0.0f)
-                                    continue;
-                                acc += dyrow[q] * xv;
-                                ++local_macs;
-                            }
-                        }
-                    }
-                    pdw[((ok * c + ic) * r_ext + t.r) * s_ext + t.s] +=
-                        acc;
-                }
+                // Conv blocks are contiguous in the dense weight space,
+                // so the block's dW slots start at b * blockElems.
+                local_macs += kernels::sparseConvBwdWeightBlock(
+                    all_taps + t0, ntaps, px + ic * h * width,
+                    pdy + ok * p_ext * q_ext, c * h * width,
+                    k * p_ext * q_ext, n, width, stride, q_ext,
+                    pdw + b * w.blockElems());
             }
         }
         mac_total.fetch_add(local_macs, std::memory_order_relaxed);

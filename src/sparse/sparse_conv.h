@@ -17,6 +17,15 @@
  * the output in a fixed order (deterministic for any thread count),
  * and per-tap output ranges are pre-clipped against the padding halo
  * so the MAC loops run branch-free.
+ *
+ * The inner loops are the SIMD microkernels of
+ * kernels/sparse_microkernels.h: each executor streams a pre-packed
+ * gather-free tap list (geometry only — values are read from the
+ * CsbTensor per call) and dispatches per plane/block to AVX2 or the
+ * scalar reference, which are bitwise identical by construction. A
+ * caller that owns a ConvTapPack for the current mask + geometry can
+ * pass it in to skip the per-call pack step (the layers cache one
+ * across optimizer steps while the mask epoch is unchanged).
  */
 
 #ifndef PROCRUSTES_SPARSE_SPARSE_CONV_H_
@@ -24,6 +33,7 @@
 
 #include <cstdint>
 
+#include "kernels/sparse_microkernels.h"
 #include "sparse/csb.h"
 #include "tensor/tensor.h"
 
@@ -40,11 +50,14 @@ namespace sparse {
  * @param macs optional out: MACs executed (non-zero weight taps x
  *        padding-clipped output positions), tallied while running so
  *        telemetry costs no second traversal.
+ * @param pack optional pre-built tap pack for w at this geometry
+ *        (asserted to match); built per call when omitted.
  * @return output activations [N, K, P, Q].
  */
 Tensor sparseConvForward(const Tensor &x, const CsbTensor &w,
                          int64_t stride, int64_t pad,
-                         int64_t *macs = nullptr);
+                         int64_t *macs = nullptr,
+                         const kernels::ConvTapPack *pack = nullptr);
 
 /**
  * Backward-data convolution dx = dy * rot180(W) from the same CSB
@@ -64,11 +77,13 @@ Tensor sparseConvForward(const Tensor &x, const CsbTensor &w,
  * @param pad symmetric zero padding.
  * @param macs optional out: MACs actually executed (live weight taps
  *        x non-zero dy operands, padding-clipped).
+ * @param pack optional pre-built tap pack (see sparseConvForward).
  * @return input-side gradient with shape x_shape.
  */
 Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
                               const Shape &x_shape, int64_t stride,
-                              int64_t pad, int64_t *macs = nullptr);
+                              int64_t pad, int64_t *macs = nullptr,
+                              const kernels::ConvTapPack *pack = nullptr);
 
 /**
  * Weight-gradient convolution restricted to the CSB mask (the third
@@ -94,11 +109,13 @@ Tensor sparseConvBackwardData(const Tensor &dy, const CsbTensor &w,
  *        live positions only, untouched elsewhere.
  * @param macs optional out: MACs actually executed (mask-live taps x
  *        non-zero activation operands, padding-clipped).
+ * @param pack optional pre-built tap pack (see sparseConvForward).
  */
 void sparseConvBackwardWeights(const Tensor &x, const Tensor &dy,
                                const CsbTensor &w, int64_t stride,
                                int64_t pad, Tensor *dw,
-                               int64_t *macs = nullptr);
+                               int64_t *macs = nullptr,
+                               const kernels::ConvTapPack *pack = nullptr);
 
 /**
  * Exact MAC counts of the three training convolutions for this input.

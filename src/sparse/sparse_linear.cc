@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/scratch_arena.h"
 #include "common/thread_pool.h"
+#include "kernels/sparse_microkernels.h"
 
 namespace procrustes {
 namespace sparse {
@@ -38,11 +40,13 @@ gatherFcTaps(const CsbTensor &w, FcTaps *rows, FcTaps *cols)
         rows->offsets.assign(static_cast<size_t>(o_ext) + 1, 0);
         rows->index.resize(static_cast<size_t>(nnz));
         rows->value.resize(static_cast<size_t>(nnz));
+        rows->perm.resize(static_cast<size_t>(nnz));
     }
     if (cols) {
         cols->offsets.assign(static_cast<size_t>(i_ext) + 1, 0);
         cols->index.resize(static_cast<size_t>(nnz));
         cols->value.resize(static_cast<size_t>(nnz));
+        cols->perm.resize(static_cast<size_t>(nnz));
     }
 
     // Pass 1: per-group counts (offset at index g+1, shifted below).
@@ -73,35 +77,42 @@ gatherFcTaps(const CsbTensor &w, FcTaps *rows, FcTaps *cols)
                 cols->offsets[static_cast<size_t>(i)];
     }
 
-    // Pass 2: fill, tracking a write cursor per group.
+    // Pass 2: fill, tracking a write cursor per group. The mask walk
+    // visits live elements in exactly the packed-value order, so the
+    // running value cursor vi is both the value to copy and the
+    // permutation entry that lets refreshFcTapValues re-copy later
+    // encodes with the same mask.
     std::vector<int64_t> row_cursor, col_cursor;
     if (rows)
         row_cursor = rows->offsets;
     if (cols)
         col_cursor = cols->offsets;
-    std::vector<float> block;
+    const float *pv = w.valuesData();
     for (int64_t b = 0; b < w.numBlocks(); ++b) {
         if (w.blockNnz(b) == 0)
             continue;   // density known from pointer subtraction
         const int64_t br = b / bpr;
         const int64_t bc = b % bpr;
-        block = w.blockDense(b);
+        int64_t vi = w.blockValueOffset(b);
         for (int64_t e = 0; e < w.blockElems(); ++e) {
             if (!w.blockMaskBit(b, e))
                 continue;
-            const float v = block[static_cast<size_t>(e)];
+            const float v = pv[vi];
             const int64_t o = br * side + e / side;
             const int64_t i = bc * side + e % side;
             if (rows) {
                 const int64_t at = row_cursor[static_cast<size_t>(o)]++;
                 rows->index[static_cast<size_t>(at)] = i;
                 rows->value[static_cast<size_t>(at)] = v;
+                rows->perm[static_cast<size_t>(at)] = vi;
             }
             if (cols) {
                 const int64_t at = col_cursor[static_cast<size_t>(i)]++;
                 cols->index[static_cast<size_t>(at)] = o;
                 cols->value[static_cast<size_t>(at)] = v;
+                cols->perm[static_cast<size_t>(at)] = vi;
             }
+            ++vi;
         }
     }
 }
@@ -119,6 +130,37 @@ checkMatrixOperand(const Tensor &t, const CsbTensor &w, int64_t dim1,
 
 } // namespace
 
+FcWuAux
+buildFcWuAux(const FcTaps &rows, int64_t o_ext, int64_t i_ext)
+{
+    FcWuAux aux;
+    const int64_t nnz = static_cast<int64_t>(rows.index.size());
+    aux.liveRow.resize(static_cast<size_t>(nnz));
+    for (int64_t o = 0; o < o_ext; ++o) {
+        for (int64_t t = rows.offsets[static_cast<size_t>(o)];
+             t < rows.offsets[static_cast<size_t>(o) + 1]; ++t)
+            aux.liveRow[static_cast<size_t>(t)] = o;
+    }
+    // The AVX2 fill/reduce kernels gather with 32-bit indices; leave
+    // the copies empty (→ 64-bit scalar path) when the dense weight
+    // space itself would overflow int32.
+    if (o_ext * i_ext < std::numeric_limits<int32_t>::max()) {
+        aux.index32.resize(static_cast<size_t>(nnz));
+        aux.row32.resize(static_cast<size_t>(nnz));
+        aux.di32.resize(static_cast<size_t>(nnz));
+        for (int64_t t = 0; t < nnz; ++t) {
+            const int64_t o = aux.liveRow[static_cast<size_t>(t)];
+            const int64_t i = rows.index[static_cast<size_t>(t)];
+            aux.index32[static_cast<size_t>(t)] =
+                static_cast<int32_t>(i);
+            aux.row32[static_cast<size_t>(t)] = static_cast<int32_t>(o);
+            aux.di32[static_cast<size_t>(t)] =
+                static_cast<int32_t>(o * i_ext + i);
+        }
+    }
+    return aux;
+}
+
 FcTapViews
 gatherFcTapViews(const CsbTensor &w)
 {
@@ -126,7 +168,25 @@ gatherFcTapViews(const CsbTensor &w)
                       "weights must be a CSB matrix");
     FcTapViews views;
     gatherFcTaps(w, &views.rows, &views.cols);
+    views.wu = buildFcWuAux(views.rows, w.denseShape()[0],
+                            w.denseShape()[1]);
     return views;
+}
+
+void
+refreshFcTapValues(const CsbTensor &w, FcTapViews *views)
+{
+    PROCRUSTES_ASSERT(views, "null tap views");
+    PROCRUSTES_ASSERT(
+        static_cast<int64_t>(views->rows.perm.size()) == w.nnz() &&
+            static_cast<int64_t>(views->cols.perm.size()) == w.nnz(),
+        "tap views do not match this encode");
+    const float *pv = w.valuesData();
+    const size_t nnz = views->rows.perm.size();
+    for (size_t t = 0; t < nnz; ++t)
+        views->rows.value[t] = pv[views->rows.perm[t]];
+    for (size_t t = 0; t < nnz; ++t)
+        views->cols.value[t] = pv[views->cols.perm[t]];
 }
 
 Tensor
@@ -151,24 +211,36 @@ sparseLinearForward(const Tensor &x, const CsbTensor &w, int64_t *macs,
     // Batch-parallel: each task owns the y rows of its sample range,
     // and every y[n, o] accumulates its row's taps in the one fixed
     // (ascending-i) gather order — deterministic for any thread count.
-    // The forward executor skips zero weights only (they are never in
-    // the tap list), so the executed-MAC tally is nnz * N, no counter
-    // needed in the inner loop.
+    // Under AVX2 the samples are processed in transposed 8-wide tiles
+    // (lane l = sample l); per-sample results are tile-independent and
+    // per-lane tap order equals the untiled loop's, so tiling changes
+    // no bit. The forward executor skips zero weights only (they are
+    // never in the tap list), so the executed-MAC tally is nnz * N, no
+    // counter needed in the inner loop.
+    const int64_t *off = rows.offsets.data();
+    const int64_t *idx = rows.index.data();
+    const float *val = rows.value.data();
+    const bool tiled =
+        kernels::activeSimdLevel() == kernels::SimdLevel::kAvx2;
     ThreadPool::global().parallelFor(0, n, [&](int64_t n0, int64_t n1) {
-        for (int64_t in = n0; in < n1; ++in) {
-            const float *xr = px + in * i_ext;
-            float *yr = py + in * o_ext;
-            for (int64_t o = 0; o < o_ext; ++o) {
-                const int64_t t0 = rows.offsets[static_cast<size_t>(o)];
-                const int64_t t1 =
-                    rows.offsets[static_cast<size_t>(o) + 1];
-                float acc = 0.0f;
-                for (int64_t t = t0; t < t1; ++t)
-                    acc += rows.value[static_cast<size_t>(t)] *
-                           xr[rows.index[static_cast<size_t>(t)]];
-                yr[o] = acc;
+        int64_t in = n0;
+        if (tiled && n1 - n0 >= 8) {
+            ScratchArena::Buffer buf = ScratchArena::global().acquire(
+                static_cast<size_t>((i_ext + o_ext) * 8));
+            float *xtile = buf.data();
+            float *ytile = buf.data() + i_ext * 8;
+            for (; in + 8 <= n1; in += 8) {
+                kernels::fcPackTile8(px + in * i_ext, i_ext, i_ext,
+                                     xtile);
+                kernels::sparseFcFwdTile8(off, idx, val, o_ext, xtile,
+                                          ytile);
+                kernels::fcUnpackTile8(ytile, py + in * o_ext, o_ext,
+                                       o_ext);
             }
         }
+        for (; in < n1; ++in)   // untiled reference (tail samples)
+            kernels::sparseFcFwdRow(off, idx, val, o_ext,
+                                    px + in * i_ext, py + in * o_ext);
     });
     if (macs)
         *macs = w.nnz() * n;
@@ -198,33 +270,41 @@ sparseLinearBackwardData(const Tensor &dy, const CsbTensor &w,
     const float *pdy = dy.data();
     float *pdx = dx.data();
 
-    // Batch-parallel with private dx rows per task. Zero dy operands
+    // Batch-parallel with private dx rows per task, tiled 8 samples
+    // wide under AVX2 exactly like the forward pass. Zero dy operands
     // are skipped (the activation sparsity a ReLU backward propagates)
     // — a skipped term is an exact zero, so the sums stay the exact
-    // adjoint of the forward, while the executed-MAC tally (a sum of
-    // per-task integers) shrinks with the measured gradient density.
+    // adjoint of the forward (the tile kernels multiply the zero
+    // instead, an identity on lanes that start at +0), while the
+    // executed-MAC tally (a sum of per-task integers) shrinks with the
+    // measured gradient density.
+    const int64_t *off = cols.offsets.data();
+    const int64_t *idx = cols.index.data();
+    const float *val = cols.value.data();
+    const bool tiled =
+        kernels::activeSimdLevel() == kernels::SimdLevel::kAvx2;
     std::atomic<int64_t> mac_total{0};
     ThreadPool::global().parallelFor(0, n, [&](int64_t n0, int64_t n1) {
         int64_t local_macs = 0;
-        for (int64_t in = n0; in < n1; ++in) {
-            const float *dyr = pdy + in * o_ext;
-            float *dxr = pdx + in * i_ext;
-            for (int64_t i = 0; i < i_ext; ++i) {
-                const int64_t t0 = cols.offsets[static_cast<size_t>(i)];
-                const int64_t t1 =
-                    cols.offsets[static_cast<size_t>(i) + 1];
-                float acc = 0.0f;
-                for (int64_t t = t0; t < t1; ++t) {
-                    const float g =
-                        dyr[cols.index[static_cast<size_t>(t)]];
-                    if (g == 0.0f)
-                        continue;
-                    acc += cols.value[static_cast<size_t>(t)] * g;
-                    ++local_macs;
-                }
-                dxr[i] = acc;
+        int64_t in = n0;
+        if (tiled && n1 - n0 >= 8) {
+            ScratchArena::Buffer buf = ScratchArena::global().acquire(
+                static_cast<size_t>((o_ext + i_ext) * 8));
+            float *dytile = buf.data();
+            float *dxtile = buf.data() + o_ext * 8;
+            for (; in + 8 <= n1; in += 8) {
+                kernels::fcPackTile8(pdy + in * o_ext, o_ext, o_ext,
+                                     dytile);
+                local_macs += kernels::sparseFcBwdDataTile8(
+                    off, idx, val, i_ext, dytile, dxtile);
+                kernels::fcUnpackTile8(dxtile, pdx + in * i_ext, i_ext,
+                                       i_ext);
             }
         }
+        for (; in < n1; ++in)   // untiled reference (tail samples)
+            local_macs += kernels::sparseFcBwdDataRow(
+                off, idx, val, i_ext, pdy + in * o_ext,
+                pdx + in * i_ext);
         mac_total.fetch_add(local_macs, std::memory_order_relaxed);
     });
     if (macs)
@@ -252,7 +332,8 @@ sparseLinearBackwardWeights(const Tensor &x, const Tensor &dy,
     // The weight-gradient pass reads the mask array, not the packed
     // values: it needs the live *positions*, while the value being
     // replaced is irrelevant. The row-grouped gather supplies them in
-    // row-major order; flatten to (row, col) pairs once.
+    // row-major order; the weight-update aux flattens them to (row,
+    // col) pairs (and 32-bit gather indices) once.
     FcTaps local;
     if (!views)
         gatherFcTaps(w, &local, nullptr);
@@ -263,12 +344,17 @@ sparseLinearBackwardWeights(const Tensor &x, const Tensor &dy,
             *macs = 0;
         return;
     }
-    std::vector<int64_t> live_row(static_cast<size_t>(nnz));
-    for (int64_t o = 0; o < o_ext; ++o) {
-        for (int64_t t = rows.offsets[static_cast<size_t>(o)];
-             t < rows.offsets[static_cast<size_t>(o) + 1]; ++t)
-            live_row[static_cast<size_t>(t)] = o;
+    FcWuAux local_aux;
+    const FcWuAux *aux;
+    if (views &&
+        static_cast<int64_t>(views->wu.liveRow.size()) == nnz) {
+        aux = &views->wu;
+    } else {
+        local_aux = buildFcWuAux(rows, o_ext, i_ext);
+        aux = &local_aux;
     }
+    const int64_t *live_row = aux->liveRow.data();
+    const bool fast32 = !aux->di32.empty();
 
     const float *px = x.data();
     const float *pdy = dy.data();
@@ -303,16 +389,22 @@ sparseLinearBackwardWeights(const Tensor &x, const Tensor &dy,
                 const float *xr = px + in * i_ext;
                 const float *dyr = pdy + in * o_ext;
                 float *slot = ppart + (in - base) * nnz;
-                for (int64_t t = 0; t < nnz; ++t) {
-                    const float xv =
-                        xr[rows.index[static_cast<size_t>(t)]];
-                    if (xv == 0.0f) {
-                        slot[t] = 0.0f;
-                        continue;
+                if (fast32) {
+                    local_macs += kernels::sparseFcWuFill(
+                        aux->index32.data(), aux->row32.data(), nnz, xr,
+                        dyr, slot);
+                } else {
+                    // 64-bit fallback for weight spaces past int32.
+                    for (int64_t t = 0; t < nnz; ++t) {
+                        const float xv =
+                            xr[rows.index[static_cast<size_t>(t)]];
+                        if (xv == 0.0f) {
+                            slot[t] = 0.0f;
+                            continue;
+                        }
+                        slot[t] = dyr[live_row[t]] * xv;
+                        ++local_macs;
                     }
-                    slot[t] =
-                        dyr[live_row[static_cast<size_t>(t)]] * xv;
-                    ++local_macs;
                 }
             }
             mac_total.fetch_add(local_macs, std::memory_order_relaxed);
@@ -326,9 +418,14 @@ sparseLinearBackwardWeights(const Tensor &x, const Tensor &dy,
         // are never touched: their dW entries stay exactly as given.
         const int64_t gn = hi - base;
         pool.parallelFor(0, nnz, [&](int64_t t0, int64_t t1) {
+            if (fast32) {
+                kernels::sparseFcWuReduce(aux->di32.data(), ppart, nnz,
+                                          gn, t0, t1, pdw);
+                return;
+            }
             for (int64_t t = t0; t < t1; ++t) {
                 const int64_t di =
-                    live_row[static_cast<size_t>(t)] * i_ext +
+                    live_row[t] * i_ext +
                     rows.index[static_cast<size_t>(t)];
                 float acc = pdw[di];
                 for (int64_t s = 0; s < gn; ++s)

@@ -21,6 +21,15 @@
  * per-sample partial gradients into ScratchArena workspaces and
  * reduces them in sample order — so every result is bitwise identical
  * for any thread count (enforced by tests/test_sparse_linear.cc).
+ *
+ * The inner loops dispatch to the SIMD microkernels of
+ * kernels/sparse_microkernels.h: forward and backward-data process the
+ * batch in transposed 8-sample tiles under AVX2 (scalar-tail samples
+ * run the untiled reference loops, which are bitwise identical), and
+ * the weight-update fill/reduce vectorize across taps. Tap views carry
+ * a permutation back into the CSB value stream, so a caller whose mask
+ * is unchanged since the last gather can refresh values in O(nnz)
+ * (refreshFcTapValues) instead of re-walking the blocks.
  */
 
 #ifndef PROCRUSTES_SPARSE_SPARSE_LINEAR_H_
@@ -46,24 +55,54 @@ struct FcTaps
     std::vector<int64_t> offsets;   //!< group start offsets, size G+1
     std::vector<int64_t> index;     //!< the other coordinate, per tap
     std::vector<float> value;       //!< weight value, per tap
+    std::vector<int64_t> perm;      //!< source index in the CSB value
+                                    //!< stream, per tap (for refresh)
 };
 
 /**
+ * Precomputed weight-update geometry derived from the row view: the
+ * live row per tap, and — when every index fits — 32-bit copies of the
+ * tap coordinates so the AVX2 fill/reduce kernels can gather with
+ * them. The 32-bit arrays are left empty when O * I would overflow
+ * int32; the executors then run the 64-bit scalar path.
+ */
+struct FcWuAux
+{
+    std::vector<int64_t> liveRow;   //!< dense row o, per tap
+    std::vector<int32_t> index32;   //!< column i, per tap (may be empty)
+    std::vector<int32_t> row32;     //!< row o, per tap (may be empty)
+    std::vector<int32_t> di32;      //!< dense o*I + i, per tap (")
+};
+
+/** Build the weight-update geometry for a row-grouped tap view. */
+FcWuAux buildFcWuAux(const FcTaps &rows, int64_t o_ext, int64_t i_ext);
+
+/**
  * Both traversal views of one CSB matrix, gathered in a single walk
- * over the packed blocks. The executors below accept a pre-gathered
- * view set so a caller that runs all three training phases on one
- * encode (nn::Linear under kSparse) pays the O(O*I) block walk once
- * per step instead of once per phase; results are identical either
- * way.
+ * over the packed blocks, plus the weight-update geometry. The
+ * executors below accept a pre-gathered view set so a caller that runs
+ * all three training phases on one encode (nn::Linear under kSparse)
+ * pays the O(O*I) block walk once per step instead of once per phase;
+ * results are identical either way.
  */
 struct FcTapViews
 {
     FcTaps rows;   //!< per-output-row taps (forward, weight-update)
     FcTaps cols;   //!< per-input-column taps (backward-data)
+    FcWuAux wu;    //!< weight-update geometry of the row view
 };
 
 /** Gather both views of `w` in one block walk. */
 FcTapViews gatherFcTapViews(const CsbTensor &w);
+
+/**
+ * Overwrite the tap values of both views from w's packed value stream
+ * via the stored permutation. Only valid when w has the same mask the
+ * views were gathered from (CsbTensor::sameMaskAs) — the geometry
+ * (offsets, index, perm, wu) is untouched. This is the O(nnz) path a
+ * layer takes across optimizer steps while its mask epoch is stable.
+ */
+void refreshFcTapValues(const CsbTensor &w, FcTapViews *views);
 
 /**
  * Forward fc pass y = x W^T from CSB-encoded weights.

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Bitwise parity tests between the scalar and AVX2 sparse microkernel
+ * levels (kernels/sparse_microkernels.h), driven through the five CSB
+ * executors they serve. The SIMD kernels' contract is *bitwise*
+ * equality with the scalar reference — not closeness — so every
+ * comparison here is an exact memcmp over the output bits plus exact
+ * equality of the executed-MAC tallies. Shapes are deliberately ragged
+ * (output widths and batch sizes that are not multiples of 8) so the
+ * masked tails and the tiled/tail sample split are always exercised.
+ *
+ * All AVX2-dependent tests skip on hosts/builds without AVX2; the
+ * scalar level is what the rest of the suite runs in that case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "kernels/sparse_microkernels.h"
+#include "sparse/mask.h"
+#include "sparse/sparse_conv.h"
+#include "sparse/sparse_linear.h"
+
+namespace procrustes {
+namespace sparse {
+namespace {
+
+/** Restores the dispatch level active at construction on exit. */
+struct SimdLevelGuard
+{
+    kernels::SimdLevel saved = kernels::activeSimdLevel();
+    ~SimdLevelGuard() { kernels::setSimdLevel(saved); }
+};
+
+/** Restores the process-wide pool to its env-resolved size on exit. */
+struct GlobalPoolGuard
+{
+    ~GlobalPoolGuard() { ThreadPool::resetGlobal(0); }
+};
+
+/** Exact bit equality — distinguishes +0 from -0, unlike maxAbsDiff. */
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(std::as_const(a).data(), std::as_const(b).data(),
+                       sizeof(float) * a.numel()) == 0;
+}
+
+/** Masked random filters at a given density. */
+Tensor
+maskedFilters(int64_t k, int64_t c, int64_t kernel, double density,
+              uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{k, c, kernel, kernel});
+    w.fillGaussian(rng, 0.5f);
+    if (density >= 1.0)
+        return w;
+    SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.seed = seed + 1;
+    const SparsityMask m = makeSyntheticMask(k, c, kernel, kernel, cfg);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (!m.bits[static_cast<size_t>(i)])
+            w.at(i) = 0.0f;
+    }
+    return w;
+}
+
+/** Masked random [O, I] weight matrix at a given density. */
+Tensor
+maskedMatrix(int64_t o_ext, int64_t i_ext, double density, uint64_t seed)
+{
+    Xorshift128Plus rng(seed);
+    Tensor w(Shape{o_ext, i_ext});
+    w.fillGaussian(rng, 0.5f);
+    if (density >= 1.0)
+        return w;
+    SyntheticMaskConfig cfg;
+    cfg.targetDensity = density;
+    cfg.seed = seed + 1;
+    const SparsityMask m = makeSyntheticMask(o_ext, i_ext, 1, 1, cfg);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        if (!m.bits[static_cast<size_t>(i)])
+            w.at(i) = 0.0f;
+    }
+    return w;
+}
+
+/** Zero out a deterministic fraction of a tensor (ReLU-like zeros). */
+void
+zeroSome(Tensor *t, uint64_t seed, double zero_fraction)
+{
+    Xorshift128Plus rng(seed);
+    for (int64_t i = 0; i < t->numel(); ++i) {
+        if (static_cast<double>(rng.next() % 1000) <
+            zero_fraction * 1000.0)
+            t->at(i) = 0.0f;
+    }
+}
+
+/** Everything the three conv executors produce for one input. */
+struct ConvRun
+{
+    Tensor y, dx, dw;
+    int64_t fw = -1, bwd = -1, bww = -1;
+};
+
+ConvRun
+runConvPhases(const Tensor &w, const Tensor &x, const Tensor &dy,
+              int64_t stride, int64_t pad)
+{
+    const CsbTensor csb = CsbTensor::encodeConvFilters(w);
+    const Shape &xs = x.shape();
+    const kernels::ConvTapPack pack =
+        kernels::packConvTaps(csb, xs[2], xs[3], stride, pad);
+    ConvRun out;
+    out.y = sparseConvForward(x, csb, stride, pad, &out.fw, &pack);
+    out.dx = sparseConvBackwardData(dy, csb, xs, stride, pad, &out.bwd,
+                                    &pack);
+    out.dw = Tensor(w.shape());
+    sparseConvBackwardWeights(x, dy, csb, stride, pad, &out.dw,
+                              &out.bww, &pack);
+    return out;
+}
+
+struct ParityCase
+{
+    double density;
+};
+
+class SimdParity : public ::testing::TestWithParam<ParityCase>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!kernels::avx2Supported())
+            GTEST_SKIP() << "no AVX2 on this build/host";
+    }
+};
+
+TEST_P(SimdParity, ConvPhasesBitwiseEqualScalarOnRaggedShapes)
+{
+    SimdLevelGuard guard;
+    const double density = GetParam().density;
+
+    // Two ragged geometries: q_ext = 11 (8 + 3 tail) at stride 1 and
+    // q_ext = 7 (tail-only, gather path) at stride 2.
+    struct Geom
+    {
+        int64_t c, k, h, w, stride, pad;
+    };
+    const Geom geoms[] = {{3, 5, 9, 11, 1, 1}, {4, 6, 10, 13, 2, 1}};
+    uint64_t seed = 1000;
+    for (const Geom &g : geoms) {
+        const Tensor w = maskedFilters(g.k, g.c, 3, density, ++seed);
+        Xorshift128Plus rng(seed * 3);
+        Tensor x(Shape{2, g.c, g.h, g.w});
+        x.fillGaussian(rng, 1.0f);
+        zeroSome(&x, seed * 5, 0.5);
+        const int64_t p_ext = (g.h + 2 * g.pad - 3) / g.stride + 1;
+        const int64_t q_ext = (g.w + 2 * g.pad - 3) / g.stride + 1;
+        Tensor dy(Shape{2, g.k, p_ext, q_ext});
+        dy.fillGaussian(rng, 1.0f);
+        zeroSome(&dy, seed * 7, 0.5);
+
+        kernels::setSimdLevel(kernels::SimdLevel::kScalar);
+        const ConvRun ref = runConvPhases(w, x, dy, g.stride, g.pad);
+        kernels::setSimdLevel(kernels::SimdLevel::kAvx2);
+        const ConvRun got = runConvPhases(w, x, dy, g.stride, g.pad);
+
+        EXPECT_TRUE(bitwiseEqual(got.y, ref.y))
+            << "y density=" << density << " W=" << g.w;
+        EXPECT_TRUE(bitwiseEqual(got.dx, ref.dx))
+            << "dx density=" << density << " W=" << g.w;
+        EXPECT_TRUE(bitwiseEqual(got.dw, ref.dw))
+            << "dw density=" << density << " W=" << g.w;
+        EXPECT_EQ(got.fw, ref.fw);
+        EXPECT_EQ(got.bwd, ref.bwd);
+        EXPECT_EQ(got.bww, ref.bww);
+    }
+}
+
+TEST_P(SimdParity, FcPhasesBitwiseEqualScalarOnRaggedBatch)
+{
+    SimdLevelGuard guard;
+    const double density = GetParam().density;
+
+    // Batch 13 = one 8-sample tile + 5 tail samples; 37 and 29 leave
+    // ragged CSB edge blocks.
+    const int64_t n = 13, i_ext = 37, o_ext = 29;
+    const Tensor w = maskedMatrix(o_ext, i_ext, density, 2000);
+    const CsbTensor csb = CsbTensor::encodeMatrix(w, 8);
+    const FcTapViews views = gatherFcTapViews(csb);
+
+    Xorshift128Plus rng(2003);
+    Tensor x(Shape{n, i_ext});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 2005, 0.5);
+    Tensor dy(Shape{n, o_ext});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 2007, 0.5);
+
+    auto run = [&](kernels::SimdLevel level) {
+        kernels::setSimdLevel(level);
+        ConvRun out;   // reuse the y/dx/dw + tallies container
+        out.y = sparseLinearForward(x, csb, &out.fw, &views);
+        out.dx = sparseLinearBackwardData(dy, csb, &out.bwd, &views);
+        out.dw = Tensor(w.shape());
+        sparseLinearBackwardWeights(x, dy, csb, &out.dw, &out.bww,
+                                    &views);
+        return out;
+    };
+    const ConvRun ref = run(kernels::SimdLevel::kScalar);
+    const ConvRun got = run(kernels::SimdLevel::kAvx2);
+
+    EXPECT_TRUE(bitwiseEqual(got.y, ref.y)) << "density=" << density;
+    EXPECT_TRUE(bitwiseEqual(got.dx, ref.dx)) << "density=" << density;
+    EXPECT_TRUE(bitwiseEqual(got.dw, ref.dw)) << "density=" << density;
+    EXPECT_EQ(got.fw, ref.fw);
+    EXPECT_EQ(got.bwd, ref.bwd);
+    EXPECT_EQ(got.bww, ref.bww);
+}
+
+// 0%, 50%, 80%, and 95% weight sparsity.
+INSTANTIATE_TEST_SUITE_P(Densities, SimdParity,
+                         ::testing::Values(ParityCase{1.0},
+                                           ParityCase{0.5},
+                                           ParityCase{0.2},
+                                           ParityCase{0.05}));
+
+TEST(SimdParityThreads, Avx2ExecutorsBitwiseInvariantAcrossThreadCounts)
+{
+    // The AVX2 level must be thread-count invariant on its own terms:
+    // the tiled/tail sample split moves with the parallelFor chunk
+    // boundaries, so this catches any arithmetic that differs between
+    // the tile and row kernels.
+    if (!kernels::avx2Supported())
+        GTEST_SKIP() << "no AVX2 on this build/host";
+    SimdLevelGuard simd_guard;
+    GlobalPoolGuard pool_guard;
+    kernels::setSimdLevel(kernels::SimdLevel::kAvx2);
+
+    const int64_t n = 13, i_ext = 37, o_ext = 29;
+    const Tensor w = maskedMatrix(o_ext, i_ext, 0.3, 3001);
+    const Tensor wc = maskedFilters(5, 3, 3, 0.3, 3003);
+    Xorshift128Plus rng(3005);
+    Tensor x(Shape{n, i_ext});
+    x.fillGaussian(rng, 1.0f);
+    zeroSome(&x, 3007, 0.5);
+    Tensor dy(Shape{n, o_ext});
+    dy.fillGaussian(rng, 1.0f);
+    zeroSome(&dy, 3011, 0.5);
+    Tensor xc(Shape{3, 3, 9, 11});
+    xc.fillGaussian(rng, 1.0f);
+    Tensor dyc(Shape{3, 5, 9, 11});
+    dyc.fillGaussian(rng, 1.0f);
+    zeroSome(&dyc, 3013, 0.5);
+
+    Tensor ref_y, ref_dx, ref_dw, ref_cy, ref_cdx, ref_cdw;
+    for (int threads : {1, 2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        const CsbTensor csb = CsbTensor::encodeMatrix(w, 8);
+        const Tensor y = sparseLinearForward(x, csb);
+        const Tensor dxt = sparseLinearBackwardData(dy, csb);
+        Tensor dw(w.shape());
+        sparseLinearBackwardWeights(x, dy, csb, &dw);
+        const ConvRun conv = runConvPhases(wc, xc, dyc, 1, 1);
+        if (threads == 1) {
+            ref_y = y;
+            ref_dx = dxt;
+            ref_dw = std::move(dw);
+            ref_cy = conv.y;
+            ref_cdx = conv.dx;
+            ref_cdw = conv.dw;
+            continue;
+        }
+        EXPECT_TRUE(bitwiseEqual(y, ref_y)) << threads;
+        EXPECT_TRUE(bitwiseEqual(dxt, ref_dx)) << threads;
+        EXPECT_TRUE(bitwiseEqual(dw, ref_dw)) << threads;
+        EXPECT_TRUE(bitwiseEqual(conv.y, ref_cy)) << threads;
+        EXPECT_TRUE(bitwiseEqual(conv.dx, ref_cdx)) << threads;
+        EXPECT_TRUE(bitwiseEqual(conv.dw, ref_cdw)) << threads;
+    }
+}
+
+TEST(SimdDispatch, LevelNameAndOverrideRoundTrip)
+{
+    SimdLevelGuard guard;
+    EXPECT_STREQ(kernels::simdLevelName(kernels::SimdLevel::kScalar),
+                 "scalar");
+    EXPECT_STREQ(kernels::simdLevelName(kernels::SimdLevel::kAvx2),
+                 "avx2");
+    kernels::setSimdLevel(kernels::SimdLevel::kScalar);
+    EXPECT_EQ(kernels::activeSimdLevel(), kernels::SimdLevel::kScalar);
+    if (kernels::avx2Supported()) {
+        kernels::setSimdLevel(kernels::SimdLevel::kAvx2);
+        EXPECT_EQ(kernels::activeSimdLevel(),
+                  kernels::SimdLevel::kAvx2);
+    }
+}
+
+} // namespace
+} // namespace sparse
+} // namespace procrustes

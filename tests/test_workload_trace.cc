@@ -467,6 +467,16 @@ TEST(WorkloadTrace, AggregatesEpochsAndBuildsMeasuredModel)
     // sparse and must flow into the model.
     EXPECT_LT(model.iactDensity[1], 1.0);
     EXPECT_GT(model.iactDensity[1], 0.0);
+
+    // Rank-4 inputs carry spatial marginals sized to the input extent
+    // (12x12 images, pooled to 6x6 before conv2); the fc input is
+    // rank-2 and has none.
+    EXPECT_EQ(e0.layers[0].iacts.perRow.size(), 12u);
+    EXPECT_EQ(e0.layers[0].iacts.perCol.size(), 12u);
+    EXPECT_EQ(e0.layers[1].iacts.perRow.size(), 6u);
+    EXPECT_EQ(e0.layers[1].iacts.perCol.size(), 6u);
+    EXPECT_TRUE(e0.layers[2].iacts.perRow.empty());
+    EXPECT_TRUE(e0.layers[2].iacts.perCol.empty());
 }
 
 TEST(WorkloadTrace, TraceProfileMatchesHandBuiltOnFixedMask)
@@ -550,6 +560,29 @@ TEST(MeasuredProfile, UsesMeasurementsNotJitter)
     const arch::LayerSparsityProfile synthetic(mask, 0.5, 0.1);
     EXPECT_NE(synthetic.iactSampleDensity(0),
               synthetic.iactSampleDensity(1));
+}
+
+TEST(MeasuredProfile, SpatialQueriesMapOntoMarginalsThroughStride)
+{
+    sparse::SparsityMask mask = sparse::SparsityMask::dense(4, 4, 3, 3);
+    arch::MeasuredIactStats st;
+    st.mean = 0.5;
+    st.perRow = {0.2, 0.8, 0.5, 0.5};    // input rows, H = 4
+    st.perCol = {0.5, 0.5, 0.4, 0.6};    // input cols, W = 4
+    const auto p =
+        arch::LayerSparsityProfile::measured(mask, st, /*stride=*/2);
+
+    // Output (p, q) reads input (p * stride, q * stride), ratio-
+    // combined as row * col / mean.
+    EXPECT_DOUBLE_EQ(p.iactSpatialDensity(0, 0), 0.2 * 0.5 / 0.5);
+    EXPECT_DOUBLE_EQ(p.iactSpatialDensity(0, 1), 0.2 * 0.4 / 0.5);
+    // Order matters: (p, q) is (row, col), not interchangeable.
+    EXPECT_NE(p.iactSpatialDensity(0, 1), p.iactSpatialDensity(1, 0));
+    // Past the measured extent the query clamps to the last slot:
+    // outputs (2, 2) and (9, 9) both read input (3, 3).
+    EXPECT_DOUBLE_EQ(p.iactSpatialDensity(9, 9),
+                     p.iactSpatialDensity(2, 2));
+    EXPECT_DOUBLE_EQ(p.iactSpatialDensity(9, 9), 0.5 * 0.6 / 0.5);
 }
 
 TEST(WorkloadTrace, TraceDrivenAcceleratorTrajectoryIsSane)
@@ -859,6 +892,8 @@ TEST(ThreadSweep, TracePipelineBitwiseIdenticalAcrossThreadCounts)
                 EXPECT_EQ(gl.iacts.perSampleHalf,
                           rl.iacts.perSampleHalf);
                 EXPECT_EQ(gl.iacts.perChannel, rl.iacts.perChannel);
+                EXPECT_EQ(gl.iacts.perRow, rl.iacts.perRow);
+                EXPECT_EQ(gl.iacts.perCol, rl.iacts.perCol);
             }
             expectHistogramsIdentical(got.imbalance[e].balanced,
                                       ref.imbalance[e].balanced);

@@ -18,14 +18,19 @@ import sys
 
 HOST_KEYS = {"hardware_concurrency", "threads_used", "single_core"}
 
-KERNELS_TOP_KEYS = {"version", "mode", "threads", "host", "layers",
-                    "fc_layers", "summary"}
+KERNELS_TOP_KEYS = {"version", "mode", "threads", "simd", "host",
+                    "layers", "fc_layers", "summary"}
 KERNELS_LAYER_KEYS = {
     "net", "layer", "N", "C", "K", "kernel", "stride", "pad", "in_hw",
     "macs", "naive_fwd_ms", "gemm_fwd_ms", "fwd_speedup",
     "naive_bwd_ms", "gemm_bwd_ms", "bwd_speedup", "gemm_fwd_ms_1t",
     "gemm_bwd_ms_1t", "thread_fwd_speedup", "thread_bwd_speedup",
-    "sparse_fwd_ms", "sparse_density",
+    "sparse_fwd_ms", "sparse_bwd_data_ms", "sparse_bwd_weight_ms",
+    "sparse_density", "crossover_density", "sparse_sweep",
+}
+KERNELS_SWEEP_KEYS = {
+    "density", "sparse_fwd_ms", "sparse_bwd_data_ms",
+    "sparse_bwd_weight_ms", "fwd_vs_gemm",
 }
 KERNELS_FC_KEYS = {
     "net", "layer", "N", "in_features", "out_features", "gemm_fwd_ms",
@@ -37,7 +42,9 @@ KERNELS_SUMMARY_KEYS = {
     "geomean_fwd_speedup", "geomean_bwd_speedup", "min_fwd_speedup",
     "geomean_thread_fwd_speedup", "geomean_thread_bwd_speedup",
 }
-KERNELS_VERSION = 4
+# v5: SIMD dispatch level, sparse backward timings, and the per-layer
+# density sweep with the sparse-vs-gemm crossover density.
+KERNELS_VERSION = 5
 
 COSIM_TOP_KEYS = {"version", "mode", "host", "config", "epochs"}
 COSIM_CONFIG_KEYS = {"epochs", "batch", "backend", "target_sparsity"}
@@ -87,11 +94,25 @@ def check_kernels(doc):
     require_keys(doc, KERNELS_TOP_KEYS, "BENCH_kernels.json")
     check_version(doc, KERNELS_VERSION, "BENCH_kernels.json")
     check_host(doc, "BENCH_kernels.json")
+    if doc["simd"] not in ("avx2", "scalar"):
+        fail(f"simd = {doc['simd']!r}, expected 'avx2' or 'scalar'")
     layers = doc["layers"]
     if not isinstance(layers, list) or not layers:
         fail("layers must be a non-empty array")
     for i, layer in enumerate(layers):
         require_keys(layer, KERNELS_LAYER_KEYS, f"layers[{i}]")
+        cd = layer["crossover_density"]
+        if not 0.0 <= cd <= 1.0:
+            fail(f"layers[{i}].crossover_density = {cd} outside [0, 1]")
+        sweep = layer["sparse_sweep"]
+        if not isinstance(sweep, list) or not sweep:
+            fail(f"layers[{i}].sparse_sweep must be a non-empty array")
+        for j, pt in enumerate(sweep):
+            require_keys(pt, KERNELS_SWEEP_KEYS,
+                         f"layers[{i}].sparse_sweep[{j}]")
+            if not 0.0 < pt["density"] <= 1.0:
+                fail(f"layers[{i}].sparse_sweep[{j}].density = "
+                     f"{pt['density']} outside (0, 1]")
     fc_layers = doc["fc_layers"]
     if not isinstance(fc_layers, list) or not fc_layers:
         fail("fc_layers must be a non-empty array")
