@@ -6,9 +6,13 @@
  * through the Procrustes cost model and the dense training baseline —
  * measured executed MACs, measured compressed weight bytes in the
  * GLB/DRAM traffic terms, and balanced/unbalanced load-imbalance
- * histograms replayed from the epoch-final masks. Emits
- * BENCH_cosim.json v3 (schema documented in EXPERIMENTS.md) with host
- * information so single-core results are interpretable.
+ * histograms replayed from the epoch-final masks. The cycle-level
+ * PE-array simulator co-runs every epoch from the same measured
+ * masks/vectors (banked GLB, operand FIFOs, explicit interconnects)
+ * and each epoch records its stall breakdown plus
+ * analytic_cycle_ratio — the fidelity bound on the analytic cycles.
+ * Emits BENCH_cosim.json v4 (schema documented in EXPERIMENTS.md)
+ * with host information so single-core results are interpretable.
  *
  * Usage: cosim_trajectory [--smoke] [--out PATH]
  *   --smoke   2 epochs on a smaller net (CI wiring check)
@@ -23,6 +27,7 @@
 #include "arch/accelerator.h"
 #include "arch/workload_trace.h"
 #include "bench_util.h"
+#include "sim/cycle_sim.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "sparse/gradual_pruning.h"
@@ -101,7 +106,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 3,\n");
+    std::fprintf(f, "  \"version\": 4,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     bench::emitHostJson(f);
     std::fprintf(f,
@@ -113,12 +118,13 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"epochs\": [\n");
 
     std::printf("epoch | val acc | w-dens | a-dens |   macs/step | "
-                "speedup | energy x | imb u->b\n");
+                "speedup | energy x | imb u->b | sim/an\n");
     for (size_t e = 0; e < trace.epochCount(); ++e) {
         const arch::EpochTrace &et = trace.epoch(e);
         arch::EpochImbalance imb;
+        sim::TraceSimResult csim;
         const arch::NetworkCost sc =
-            procrustes.evaluateTrace(trace, e, &imb);
+            procrustes.evaluateTrace(trace, e, &imb, &csim);
         const arch::NetworkCost dc = baseline.evaluateTrace(trace, e);
         const arch::PhaseCost st = sc.total();
         const arch::PhaseCost dt = dc.total();
@@ -154,6 +160,15 @@ main(int argc, char **argv)
             "     \"imbalance_balanced_mean\": %.6f, "
             "\"imbalance_balanced_max\": %.6f,\n"
             "     \"imbalance_balanced_frac_above_10\": %.6f,\n"
+            "     \"cycle_sim\": {\"cycles\": %lld, "
+            "\"compute_cycles\": %lld, \"stall_cycles\": %lld,\n"
+            "      \"drain_cycles\": %lld, "
+            "\"glb_conflict_cycles\": %lld, \"glb_conflicts\": %lld,\n"
+            "      \"glb_reads\": %lld, \"glb_writes\": %lld, "
+            "\"fifo_backpressure_cycles\": %lld,\n"
+            "      \"macs_retired\": %lld, "
+            "\"analytic_compute_cycles\": %.6g, "
+            "\"analytic_cycle_ratio\": %.4f},\n"
             "     \"speedup\": %.3f, \"energy_ratio\": %.3f}%s\n",
             e, history[e].trainLoss, history[e].valAccuracy,
             et.meanWeightDensity(), et.meanIactDensity(),
@@ -165,14 +180,26 @@ main(int argc, char **argv)
             dt.glbEnergyJ, dt.dramEnergyJ, imb.unbalanced.meanOverhead,
             imb.unbalanced.maxOverhead, imb.unbalanced.fractionAbove(0.5),
             imb.balanced.meanOverhead, imb.balanced.maxOverhead,
-            imb.balanced.fractionAbove(0.1), speedup, eratio,
+            imb.balanced.fractionAbove(0.1),
+            static_cast<long long>(csim.total.cycles),
+            static_cast<long long>(csim.total.computeCycles),
+            static_cast<long long>(csim.total.stallCycles),
+            static_cast<long long>(csim.total.drainCycles),
+            static_cast<long long>(csim.total.glbConflictCycles),
+            static_cast<long long>(csim.total.glbConflicts),
+            static_cast<long long>(csim.total.totalGlbReads()),
+            static_cast<long long>(csim.total.totalGlbWrites()),
+            static_cast<long long>(csim.total.fifoBackpressureCycles),
+            static_cast<long long>(csim.total.macsRetired),
+            csim.analyticComputeCycles, csim.analyticCycleRatio,
+            speedup, eratio,
             e + 1 < trace.epochCount() ? "," : "");
         std::printf("%5zu |   %.3f |  %.3f |  %.3f | %11.0f | %6.2fx | "
-                    "%6.2fx | %.3f->%.3f\n",
+                    "%6.2fx | %.3f->%.3f | %.2f\n",
                     e, history[e].valAccuracy, et.meanWeightDensity(),
                     et.meanIactDensity(), et.totalMacsPerStep(), speedup,
                     eratio, imb.unbalanced.meanOverhead,
-                    imb.balanced.meanOverhead);
+                    imb.balanced.meanOverhead, csim.analyticCycleRatio);
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -15,7 +15,11 @@
  * measured densities, not hash-jitter, flowing into the CostModel,
  * measured compressed weight bytes in the GLB/DRAM traffic terms, and
  * per-epoch load-imbalance histograms (balanced vs unbalanced)
- * replayed straight from the epoch-final masks.
+ * replayed straight from the epoch-final masks. The cycle-level
+ * PE-array simulator (banked GLB, operand FIFOs, explicit
+ * interconnects) co-runs every epoch from the same measured facts, so
+ * each epoch also reports simulated cycles and the analytic-vs-cycle
+ * fidelity ratio.
  */
 
 #include <cstdio>
@@ -31,6 +35,7 @@
 #include "nn/network.h"
 #include "nn/pooling.h"
 #include "nn/trainer.h"
+#include "sim/cycle_sim.h"
 #include "sparse/gradual_pruning.h"
 
 using namespace procrustes;
@@ -108,8 +113,9 @@ main()
     for (size_t e = 0; e < trace.epochCount(); ++e) {
         const arch::EpochTrace &et = trace.epoch(e);
         arch::EpochImbalance imb;
+        sim::TraceSimResult csim;
         const arch::NetworkCost sparse_cost =
-            procrustes.evaluateTrace(trace, e, &imb);
+            procrustes.evaluateTrace(trace, e, &imb, &csim);
         const arch::NetworkCost dense_cost = baseline.evaluateTrace(trace, e);
         std::printf(
             "    {\"epoch\": %zu, \"train_loss\": %.4f, "
@@ -121,6 +127,11 @@ main()
             "     \"dense_cycles\": %.4g, \"dense_energy_j\": %.4g,\n"
             "     \"imbalance_mean_unbalanced\": %.4f, "
             "\"imbalance_mean_balanced\": %.4f,\n"
+            "     \"cycle_sim\": {\"cycles\": %lld, "
+            "\"stall_cycles\": %lld, \"drain_cycles\": %lld,\n"
+            "      \"glb_conflicts\": %lld, "
+            "\"fifo_backpressure_cycles\": %lld,\n"
+            "      \"analytic_cycle_ratio\": %.4f},\n"
             "     \"speedup\": %.2f, \"energy_ratio\": %.2f}%s\n",
             e, history[e].trainLoss, history[e].valAccuracy,
             et.meanWeightDensity(), et.meanIactDensity(),
@@ -128,6 +139,12 @@ main()
             sparse_cost.totalEnergyJ(), dense_cost.totalCycles(),
             dense_cost.totalEnergyJ(), imb.unbalanced.meanOverhead,
             imb.balanced.meanOverhead,
+            static_cast<long long>(csim.total.cycles),
+            static_cast<long long>(csim.total.stallCycles),
+            static_cast<long long>(csim.total.drainCycles),
+            static_cast<long long>(csim.total.glbConflicts),
+            static_cast<long long>(csim.total.fifoBackpressureCycles),
+            csim.analyticCycleRatio,
             dense_cost.totalCycles() / sparse_cost.totalCycles(),
             dense_cost.totalEnergyJ() / sparse_cost.totalEnergyJ(),
             e + 1 < trace.epochCount() ? "," : "");

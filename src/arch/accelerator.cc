@@ -52,7 +52,9 @@ Accelerator::evaluateLayer(const LayerShape &layer,
 
 NetworkCost
 Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
-                           EpochImbalance *imbalance) const
+                           EpochImbalance *imbalance,
+                           sim::TraceSimResult *cycle_sim,
+                           const sim::SimConfig &sim_cfg) const
 {
     const EpochTrace &e = trace.epoch(epoch_idx);
     PROCRUSTES_ASSERT(e.batchSize > 0, "trace has no batch size");
@@ -108,6 +110,17 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
     if (imbalance) {
         *imbalance = measuredEpochImbalance(
             e, mapping_, model_.config(), model_.options().balance);
+    }
+    if (cycle_sim) {
+        *cycle_sim = sim::simulateTraceEpoch(e, mapping_, model_.config(),
+                                             sim_cfg,
+                                             model_.options().balance);
+        cycle_sim->analyticComputeCycles = cost.total().computeCycles;
+        cycle_sim->analyticCycleRatio =
+            cycle_sim->analyticComputeCycles > 0.0
+                ? static_cast<double>(cycle_sim->total.cycles) /
+                      cycle_sim->analyticComputeCycles
+                : -1.0;
     }
     return cost;
 }

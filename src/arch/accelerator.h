@@ -18,6 +18,7 @@
 #include "arch/model_zoo.h"
 #include "arch/trace_imbalance.h"
 #include "arch/workload_trace.h"
+#include "sim/cycle_sim.h"
 
 namespace procrustes {
 namespace arch {
@@ -88,10 +89,21 @@ class Accelerator
      *        from the measured masks and activation densities
      *        (arch/trace_imbalance.h) under this accelerator's mapping
      *        and balancing policy, all three phases pooled.
+     * @param cycle_sim when non-null, the cycle-level PE-array
+     *        simulator (sim/cycle_sim.h) co-runs the same epoch —
+     *        identical wave geometry, work from the same measured
+     *        masks and activation vectors — and its per-phase results
+     *        land here, with analyticCycleRatio set to simulated
+     *        cycles over this model's analytic compute latency (the
+     *        fidelity bound BENCH_cosim.json v4 records).
+     * @param sim_cfg interconnect / GLB / FIFO geometry for the
+     *        cycle-level co-run (ignored when cycle_sim is null).
      */
     NetworkCost evaluateTrace(const WorkloadTrace &trace,
                               size_t epoch_idx,
-                              EpochImbalance *imbalance = nullptr) const;
+                              EpochImbalance *imbalance = nullptr,
+                              sim::TraceSimResult *cycle_sim = nullptr,
+                              const sim::SimConfig &sim_cfg = {}) const;
 
     const CostModel &costModel() const { return model_; }
     MappingKind mapping() const { return mapping_; }

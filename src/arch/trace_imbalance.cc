@@ -23,9 +23,10 @@ wrapped(const std::vector<double> &v, int64_t idx, double fallback)
     return v[static_cast<size_t>(idx) % v.size()];
 }
 
-/** Half-split work of one slice of the sparse operand along dim `d`. */
+} // namespace
+
 TileHalves
-sliceWork(const LayerTrace &layer, Operand sp, Dim d, int64_t idx)
+measuredSliceWork(const LayerTrace &layer, Operand sp, Dim d, int64_t idx)
 {
     const sparse::SparsityMask &mask = layer.mask;
     TileHalves h;
@@ -91,10 +92,9 @@ sliceWork(const LayerTrace &layer, Operand sp, Dim d, int64_t idx)
     PANIC("iacts sliced along an unsupported dim");
 }
 
-/** Work when both spatial dims index the sparse operand. */
 double
-pairWork(const LayerTrace &layer, Operand sp, Dim d0, int64_t i0,
-         Dim d1, int64_t i1)
+measuredPairWork(const LayerTrace &layer, Operand sp, Dim d0, int64_t i0,
+                 Dim d1, int64_t i1)
 {
     if (sp == Operand::Weights) {
         // Only the C,K pairing can index weights in both dims.
@@ -136,8 +136,6 @@ pairWork(const LayerTrace &layer, Operand sp, Dim d0, int64_t i0,
     const double mean = std::max(layer.iacts.mean, 1e-9);
     return clampd(work / mean, 0.0, 1.0);
 }
-
-} // namespace
 
 std::vector<std::vector<TileHalves>>
 measuredLayerWaves(const LayerTrace &layer, Phase phase,
@@ -181,8 +179,8 @@ measuredLayerWaves(const LayerTrace &layer, Phase phase,
             for (const ChunkTileRef &t : chunk_tiles) {
                 double w = 0.0;
                 for (int64_t s = 0; s < t.chunkCount; ++s) {
-                    w += pairWork(layer, sp, dims[0], t.index0, dims[1],
-                                  t.chunkBase + s);
+                    w += measuredPairWork(layer, sp, dims[0], t.index0,
+                                          dims[1], t.chunkBase + s);
                 }
                 tiles.push_back(TileHalves{w / 2.0, w / 2.0});
             }
@@ -204,7 +202,7 @@ measuredLayerWaves(const LayerTrace &layer, Phase phase,
             std::vector<TileHalves> tiles;
             tiles.reserve(static_cast<size_t>(count));
             for (int64_t i = 0; i < count; ++i)
-                tiles.push_back(sliceWork(layer, sp, d, b + i));
+                tiles.push_back(measuredSliceWork(layer, sp, d, b + i));
             for (int64_t r = 0; r < dense_blocks; ++r)
                 waves.push_back(tiles);
         }
@@ -224,8 +222,8 @@ measuredLayerWaves(const LayerTrace &layer, Phase phase,
             tiles.reserve(static_cast<size_t>(n0 * n1));
             for (int64_t i = 0; i < n0; ++i) {
                 for (int64_t j = 0; j < n1; ++j) {
-                    const double w = pairWork(layer, sp, dims[0], b0 + i,
-                                              dims[1], b1 + j);
+                    const double w = measuredPairWork(
+                        layer, sp, dims[0], b0 + i, dims[1], b1 + j);
                     tiles.push_back(TileHalves{w / 2.0, w / 2.0});
                 }
             }

@@ -37,6 +37,27 @@ struct EpochImbalance
 };
 
 /**
+ * Half-split work of one slice of the sparse operand along dim `d`.
+ * Weights slice to *exact* live-position counts from the epoch-final
+ * mask (SparsityMask::tileNnz, halved along the axis the half-tile
+ * balancer cuts); activations slice to measured densities (per-sample
+ * halves where the telemetry recorded them, per-channel means
+ * otherwise). Shared by the imbalance replay and the trace-driven
+ * cycle simulator so both tally identical work.
+ */
+TileHalves measuredSliceWork(const LayerTrace &layer, Operand sp, Dim d,
+                             int64_t idx);
+
+/**
+ * Work of one PE tile when both spatial dims index the sparse operand:
+ * exact per-kernel counts (SparsityMask::blockNnz) for weights,
+ * ratio-combined measured marginals (clamped to [0, 1]) for
+ * activations.
+ */
+double measuredPairWork(const LayerTrace &layer, Operand sp, Dim d0,
+                        int64_t i0, Dim d1, int64_t i1);
+
+/**
  * Per-wave working sets of one traced layer in one phase under one
  * mapping: each inner vector holds the half-split work tiles of one
  * full-PE-array wave, in issue order. Work units are live weight

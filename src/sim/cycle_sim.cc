@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "arch/load_balancer.h"
+#include "arch/trace_imbalance.h"
 
 namespace procrustes {
 namespace sim {
@@ -14,9 +15,11 @@ using arch::Dim;
 using arch::FlowClass;
 using arch::LayerShape;
 using arch::LayerSparsityProfile;
+using arch::LayerTrace;
 using arch::MappingKind;
 using arch::Operand;
 using arch::Phase;
+using arch::TileHalves;
 
 Channel
 channelFor(FlowClass flow)
@@ -37,133 +40,173 @@ channelFor(FlowClass flow)
     PANIC("unknown flow class");
 }
 
-namespace {
-
-/** Per-PE progress state during a wave. */
-struct PeState
+void
+SimResult::accumulate(const SimResult &o)
 {
-    int64_t macsDone = 0;
-    int64_t recvA = 0;
-    int64_t recvB = 0;
-};
+    cycles += o.cycles;
+    computeCycles += o.computeCycles;
+    stallCycles += o.stallCycles;
+    macsRetired += o.macsRetired;
+    drainCycles += o.drainCycles;
+    glbConflictCycles += o.glbConflictCycles;
+    glbConflicts += o.glbConflicts;
+    fifoBackpressureCycles += o.fifoBackpressureCycles;
+    if (glbBankReads.size() < o.glbBankReads.size())
+        glbBankReads.resize(o.glbBankReads.size(), 0);
+    for (size_t i = 0; i < o.glbBankReads.size(); ++i)
+        glbBankReads[i] += o.glbBankReads[i];
+    if (glbBankWrites.size() < o.glbBankWrites.size())
+        glbBankWrites.resize(o.glbBankWrites.size(), 0);
+    for (size_t i = 0; i < o.glbBankWrites.size(); ++i)
+        glbBankWrites[i] += o.glbBankWrites[i];
+}
+
+int64_t
+SimResult::totalGlbReads() const
+{
+    int64_t t = 0;
+    for (int64_t r : glbBankReads)
+        t += r;
+    return t;
+}
+
+int64_t
+SimResult::totalGlbWrites() const
+{
+    int64_t t = 0;
+    for (int64_t w : glbBankWrites)
+        t += w;
+    return t;
+}
+
+size_t
+unicastRoundRobin(const std::vector<int64_t> &cap,
+                  std::vector<int64_t> &recv, int &budget, size_t cursor)
+{
+    const size_t n = cap.size();
+    if (n == 0)
+        return 0;
+    size_t next = cursor % n;
+    for (size_t step = 0; step < n && budget > 0; ++step) {
+        const size_t idx = (cursor + step) % n;
+        if (recv[idx] < cap[idx]) {
+            ++recv[idx];
+            --budget;
+            next = (idx + 1) % n;
+        }
+    }
+    return next;
+}
+
+namespace {
 
 /** True if the PE may retire one more MAC this cycle. */
 bool
-canIssue(const TileDemand &d, const PeState &s)
+canIssue(const TileDemand &d, int64_t done, int64_t recv_a, int64_t recv_b)
 {
-    if (s.macsDone >= d.macs)
+    if (done >= d.macs)
         return false;
     // Operand words unlock MACs proportionally: word w of operand A
     // enables MACs up to w * (macs / wordsA).
-    if (d.wordsA > 0 && s.macsDone * d.wordsA >= s.recvA * d.macs)
+    if (d.wordsA > 0 && done * d.wordsA >= recv_a * d.macs)
         return false;
-    if (d.wordsB > 0 && s.macsDone * d.wordsB >= s.recvB * d.macs)
+    if (d.wordsB > 0 && done * d.wordsB >= recv_b * d.macs)
         return false;
     return true;
 }
 
-/** Deliver one multicast word along each row (or column) that wants it. */
-void
-deliverBus(const WaveSpec &wave, std::vector<PeState> &st, bool operand_a,
-           bool row_major)
+/**
+ * Most words a PE may have received: the queue holds `depth` words
+ * past the `consumed` point (the words its retired MACs have used up),
+ * never more than the full demand.
+ */
+int64_t
+deliveryCap(int64_t words, int64_t macs, int64_t done, int depth)
+{
+    if (depth <= 0 || macs <= 0)
+        return words;
+    const int64_t consumed = ceilDiv(done * words, macs);
+    return std::min(words, consumed + depth);
+}
+
+/**
+ * Deliver one multicast word along each row (or column) with a hungry,
+ * non-full PE; returns the number of lines that fired (one GLB word
+ * read per fired line).
+ */
+int64_t
+deliverBus(const WaveSpec &wave, const std::vector<int64_t> &cap,
+           std::vector<int64_t> &recv, bool row_major)
 {
     const int outer = row_major ? wave.rows : wave.cols;
     const int inner = row_major ? wave.cols : wave.rows;
+    int64_t fired = 0;
     for (int o = 0; o < outer; ++o) {
         bool any = false;
         for (int i = 0; i < inner; ++i) {
             const int r = row_major ? o : i;
             const int c = row_major ? i : o;
             const auto idx = static_cast<size_t>(r * wave.cols + c);
-            const TileDemand &d = wave.tiles[idx];
-            const int64_t need = operand_a ? d.wordsA : d.wordsB;
-            const int64_t got =
-                operand_a ? st[idx].recvA : st[idx].recvB;
-            if (got < need) {
+            if (recv[idx] < cap[idx]) {
                 any = true;
                 break;
             }
         }
         if (!any)
             continue;
+        ++fired;
         for (int i = 0; i < inner; ++i) {
             const int r = row_major ? o : i;
             const int c = row_major ? i : o;
             const auto idx = static_cast<size_t>(r * wave.cols + c);
-            const TileDemand &d = wave.tiles[idx];
-            if (operand_a) {
-                if (st[idx].recvA < d.wordsA)
-                    ++st[idx].recvA;
-            } else {
-                if (st[idx].recvB < d.wordsB)
-                    ++st[idx].recvB;
-            }
+            if (recv[idx] < cap[idx])
+                ++recv[idx];
         }
     }
+    return fired;
 }
 
-/** Deliver one broadcast word to every PE that wants it. */
-void
-deliverBroadcast(const WaveSpec &wave, std::vector<PeState> &st,
-                 bool operand_a)
+/** Deliver one broadcast word to every hungry, non-full PE. */
+int64_t
+deliverBroadcast(const std::vector<int64_t> &cap,
+                 std::vector<int64_t> &recv)
 {
-    for (size_t idx = 0; idx < wave.tiles.size(); ++idx) {
-        const TileDemand &d = wave.tiles[idx];
-        if (operand_a) {
-            if (st[idx].recvA < d.wordsA)
-                ++st[idx].recvA;
-        } else {
-            if (st[idx].recvB < d.wordsB)
-                ++st[idx].recvB;
+    int64_t fired = 0;
+    for (size_t idx = 0; idx < cap.size(); ++idx) {
+        if (recv[idx] < cap[idx]) {
+            ++recv[idx];
+            fired = 1;
         }
     }
+    return fired;
 }
 
-/** Deliver up to `budget` unicast words round-robin; returns cursor. */
-size_t
-deliverUnicast(const WaveSpec &wave, std::vector<PeState> &st,
-               bool operand_a, int budget, size_t cursor)
-{
-    const size_t n = wave.tiles.size();
-    int delivered = 0;
-    for (size_t step = 0; step < n && delivered < budget; ++step) {
-        const size_t idx = (cursor + step) % n;
-        const TileDemand &d = wave.tiles[idx];
-        if (operand_a) {
-            if (st[idx].recvA < d.wordsA) {
-                ++st[idx].recvA;
-                ++delivered;
-            }
-        } else {
-            if (st[idx].recvB < d.wordsB) {
-                ++st[idx].recvB;
-                ++delivered;
-            }
-        }
-    }
-    return (cursor + 1) % n;
-}
-
-void
-deliverChannel(const WaveSpec &wave, std::vector<PeState> &st,
-               Channel ch, bool operand_a, const SimConfig &cfg,
+/**
+ * Move one operand's words for one cycle; returns words transmitted
+ * (= GLB reads). `uni_budget` is the cycle's remaining aggregate
+ * unicast bandwidth, shared across operands: when both operands ride
+ * the unicast network they split one budget instead of each spending
+ * the full configured bandwidth.
+ */
+int64_t
+deliverChannel(const WaveSpec &wave, const std::vector<int64_t> &cap,
+               std::vector<int64_t> &recv, Channel ch, int &uni_budget,
                size_t &uni_cursor)
 {
     switch (ch) {
       case Channel::RowBus:
-        deliverBus(wave, st, operand_a, /*row_major=*/true);
-        break;
+        return deliverBus(wave, cap, recv, /*row_major=*/true);
       case Channel::ColBus:
-        deliverBus(wave, st, operand_a, /*row_major=*/false);
-        break;
+        return deliverBus(wave, cap, recv, /*row_major=*/false);
       case Channel::Broadcast:
-        deliverBroadcast(wave, st, operand_a);
-        break;
-      case Channel::UnicastNet:
-        uni_cursor = deliverUnicast(wave, st, operand_a,
-                                    cfg.unicastWordsPerCycle, uni_cursor);
-        break;
+        return deliverBroadcast(cap, recv);
+      case Channel::UnicastNet: {
+        const int before = uni_budget;
+        uni_cursor = unicastRoundRobin(cap, recv, uni_budget, uni_cursor);
+        return before - uni_budget;
+      }
     }
+    PANIC("unknown channel");
 }
 
 } // namespace
@@ -175,9 +218,33 @@ simulateWave(const WaveSpec &wave, const SimConfig &cfg)
         wave.tiles.size() ==
             static_cast<size_t>(wave.rows) * static_cast<size_t>(wave.cols),
         "tile count mismatch");
+    PROCRUSTES_ASSERT(cfg.glbBanks > 0 && cfg.glbBankPortsPerCycle > 0,
+                      "GLB geometry degenerate");
     SimResult res;
-    std::vector<PeState> st(wave.tiles.size());
+    const int64_t banks = cfg.glbBanks;
+    const int64_t bank_bw = banks * cfg.glbBankPortsPerCycle;
+    res.glbBankReads.assign(static_cast<size_t>(banks), 0);
+    res.glbBankWrites.assign(static_cast<size_t>(banks), 0);
+
+    const size_t n = wave.tiles.size();
+    std::vector<int64_t> macs_done(n, 0);
+    std::vector<int64_t> recv_a(n, 0);
+    std::vector<int64_t> recv_b(n, 0);
+    std::vector<int64_t> cap_a(n, 0);
+    std::vector<int64_t> cap_b(n, 0);
     size_t uni_cursor = 0;
+    int64_t glb_addr = 0;   // rolling word address, interleaved on banks
+
+    // Charge one cycle's GLB accesses to banks; surplus beyond the
+    // aggregate bank bandwidth replays in appended stall cycles.
+    auto chargeGlb = [&](int64_t words, std::vector<int64_t> &per_bank) {
+        for (int64_t w = 0; w < words; ++w)
+            ++per_bank[static_cast<size_t>((glb_addr++) % banks)];
+        if (words > bank_bw) {
+            res.glbConflicts += words - bank_bw;
+            res.glbConflictCycles += ceilDiv(words, bank_bw) - 1;
+        }
+    };
 
     int64_t remaining = 0;
     for (const TileDemand &d : wave.tiles)
@@ -186,19 +253,36 @@ simulateWave(const WaveSpec &wave, const SimConfig &cfg)
     while (remaining > 0) {
         PROCRUSTES_ASSERT(res.computeCycles < cfg.maxCycles,
                           "wave exceeded cycle limit");
-        // Delivery happens first; a word arriving this cycle can feed
-        // a MAC this cycle (single-cycle forwarding).
-        deliverChannel(wave, st, wave.channelA, /*operand_a=*/true, cfg,
-                       uni_cursor);
-        deliverChannel(wave, st, wave.channelB, /*operand_a=*/false, cfg,
-                       uni_cursor);
-
-        for (size_t idx = 0; idx < wave.tiles.size(); ++idx) {
+        // Queue caps for this cycle; a hungry PE at its cap has a word
+        // withheld by backpressure.
+        for (size_t idx = 0; idx < n; ++idx) {
             const TileDemand &d = wave.tiles[idx];
-            if (st[idx].macsDone >= d.macs)
+            cap_a[idx] = deliveryCap(d.wordsA, d.macs, macs_done[idx],
+                                     cfg.peFifoDepth);
+            cap_b[idx] = deliveryCap(d.wordsB, d.macs, macs_done[idx],
+                                     cfg.peFifoDepth);
+            if (recv_a[idx] < d.wordsA && recv_a[idx] >= cap_a[idx])
+                ++res.fifoBackpressureCycles;
+            if (recv_b[idx] < d.wordsB && recv_b[idx] >= cap_b[idx])
+                ++res.fifoBackpressureCycles;
+        }
+
+        // Delivery happens first; a word arriving this cycle can feed
+        // a MAC this cycle (single-cycle forwarding). One unicast
+        // budget serves both operands.
+        int uni_budget = cfg.unicastWordsPerCycle;
+        int64_t words = deliverChannel(wave, cap_a, recv_a, wave.channelA,
+                                       uni_budget, uni_cursor);
+        words += deliverChannel(wave, cap_b, recv_b, wave.channelB,
+                                uni_budget, uni_cursor);
+        chargeGlb(words, res.glbBankReads);
+
+        for (size_t idx = 0; idx < n; ++idx) {
+            const TileDemand &d = wave.tiles[idx];
+            if (macs_done[idx] >= d.macs)
                 continue;
-            if (canIssue(d, st[idx])) {
-                ++st[idx].macsDone;
+            if (canIssue(d, macs_done[idx], recv_a[idx], recv_b[idx])) {
+                ++macs_done[idx];
                 ++res.macsRetired;
                 --remaining;
             } else {
@@ -208,7 +292,8 @@ simulateWave(const WaveSpec &wave, const SimConfig &cfg)
         ++res.computeCycles;
     }
 
-    // Drain partial sums through the output channel.
+    // Drain partial sums through the output channel, one bandwidth-
+    // limited batch of GLB writes per cycle.
     int64_t psum_words = 0;
     for (const TileDemand &d : wave.tiles)
         psum_words += d.psumWords;
@@ -227,17 +312,150 @@ simulateWave(const WaveSpec &wave, const SimConfig &cfg)
         drain_bw = cfg.unicastWordsPerCycle;
         break;
     }
-    const int64_t drain = ceilDiv(psum_words, drain_bw);
-    res.cycles = res.computeCycles + drain;
+    drain_bw = std::max<int64_t>(1, drain_bw);
+    while (psum_words > 0) {
+        const int64_t w = std::min(drain_bw, psum_words);
+        psum_words -= w;
+        ++res.drainCycles;
+        chargeGlb(w, res.glbBankWrites);
+    }
+
+    res.cycles = res.computeCycles + res.drainCycles + res.glbConflictCycles;
     return res;
 }
 
+namespace {
+
+/**
+ * Per-slot sparse-operand densities as the wave builder needs them:
+ * the profile oracle reads the analytic model's synthetic profile, the
+ * trace oracle the measured epoch facts. Keeping the wave geometry in
+ * one builder (buildAndSimulateWaves) guarantees the two paths can
+ * never tile differently.
+ */
+struct ProfileOracle
+{
+    const LayerSparsityProfile &p;
+
+    double
+    broadcastDensity(Operand sp) const
+    {
+        return sp == Operand::Weights ? p.weightDensity()
+                                      : p.iactDensity();
+    }
+
+    double
+    pairDensity(Operand sp, Dim d0, int64_t i0, Dim d1, int64_t i1) const
+    {
+        if (sp == Operand::Weights) {
+            const int64_t k = d0 == Dim::K ? i0 : i1;
+            const int64_t c = d0 == Dim::K ? i1 : i0;
+            return p.kernelDensity(k, c);
+        }
+        (void)d1;
+        return p.iactSpatialDensity(i0, i1);
+    }
+
+    double
+    sliceDensity(Operand sp, Dim d, int64_t idx) const
+    {
+        if (sp == Operand::Weights)
+            return d == Dim::K ? p.kDensity(idx) : p.cDensity(idx);
+        return d == Dim::N ? p.iactSampleDensity(idx)
+                           : p.iactChannelDensity(idx);
+    }
+
+    TileHalves
+    sliceHalves(Operand sp, Dim d, int64_t idx) const
+    {
+        TileHalves h;
+        if (sp == Operand::Weights) {
+            h.first = d == Dim::K ? p.kHalfDensity(idx, 0)
+                                  : p.cHalfDensity(idx, 0);
+            h.second = d == Dim::K ? p.kHalfDensity(idx, 1)
+                                   : p.cHalfDensity(idx, 1);
+        } else {
+            h.first = p.iactSampleHalfDensity(idx, 0);
+            h.second = p.iactSampleHalfDensity(idx, 1);
+        }
+        return h;
+    }
+};
+
+/**
+ * Measured-trace oracle: exact mask slice counts normalized to
+ * densities (the work units of arch::measuredSliceWork /
+ * measuredPairWork divided by the slice's dense position count), and
+ * measured activation vectors consumed as densities directly.
+ */
+struct TraceOracle
+{
+    const LayerTrace &l;
+
+    double
+    kernelPositions() const
+    {
+        return static_cast<double>(
+            std::max<int64_t>(1, l.mask.R) *
+            std::max<int64_t>(1, l.mask.S));
+    }
+
+    double
+    sliceVolume(Dim d) const
+    {
+        const double rs = kernelPositions();
+        if (d == Dim::K)
+            return std::max<int64_t>(1, l.mask.C) * rs;
+        return std::max<int64_t>(1, l.mask.K) * rs;
+    }
+
+    double
+    broadcastDensity(Operand sp) const
+    {
+        return sp == Operand::Weights ? l.weightDensity() : l.iacts.mean;
+    }
+
+    double
+    pairDensity(Operand sp, Dim d0, int64_t i0, Dim d1, int64_t i1) const
+    {
+        const double w = arch::measuredPairWork(l, sp, d0, i0, d1, i1);
+        return sp == Operand::Weights ? w / kernelPositions() : w;
+    }
+
+    double
+    sliceDensity(Operand sp, Dim d, int64_t idx) const
+    {
+        const TileHalves h = arch::measuredSliceWork(l, sp, d, idx);
+        const double w = h.total();
+        return sp == Operand::Weights ? w / sliceVolume(d) : w;
+    }
+
+    TileHalves
+    sliceHalves(Operand sp, Dim d, int64_t idx) const
+    {
+        TileHalves h = arch::measuredSliceWork(l, sp, d, idx);
+        if (sp == Operand::Weights) {
+            const double vol = sliceVolume(d);
+            h.first /= vol;
+            h.second /= vol;
+        }
+        return h;
+    }
+};
+
+/**
+ * Build the wave sequence for (layer, phase, mapping) — the analytic
+ * model's exact tiling: spatial blocking, RF-bounded weight chunking,
+ * optional half-tile balancing — with per-slot densities from the
+ * oracle, and simulate every wave. Slots with zero density are idle:
+ * zero demand, no phantom MAC or psum word, excluded from stalls.
+ */
+template <typename Oracle>
 SimResult
-simulateLayerPhase(const LayerShape &layer, Phase phase,
-                   MappingKind mapping,
-                   const LayerSparsityProfile &profile, int64_t batch,
-                   const arch::ArrayConfig &acfg, const SimConfig &scfg,
-                   arch::BalanceMode balance)
+buildAndSimulateWaves(const LayerShape &layer, Phase phase,
+                      MappingKind mapping, int64_t batch,
+                      const arch::ArrayConfig &acfg, const SimConfig &scfg,
+                      arch::BalanceMode balance, const Oracle &oracle)
 {
     const auto dims = arch::spatialDims(mapping);
     const int64_t a0 = acfg.rows;
@@ -312,27 +530,13 @@ simulateLayerPhase(const LayerShape &layer, Phase phase,
             // Per-slot effective density along the sparse structure.
             auto density_at = [&](int64_t i, int64_t j) {
                 if (!dep0 && !dep1)
-                    return sp == Operand::Weights
-                               ? profile.weightDensity()
-                               : profile.iactDensity();
-                if (dep0 && dep1) {
-                    if (sp == Operand::Weights) {
-                        const int64_t k =
-                            dims[0] == Dim::K ? b0 + i : b1 + j;
-                        const int64_t c =
-                            dims[0] == Dim::K ? b1 + j : b0 + i;
-                        return profile.kernelDensity(k, c);
-                    }
-                    return profile.iactSpatialDensity(b0 + i, b1 + j);
-                }
+                    return oracle.broadcastDensity(sp);
+                if (dep0 && dep1)
+                    return oracle.pairDensity(sp, dims[0], b0 + i,
+                                              dims[1], b1 + j);
                 const Dim d = dep0 ? dims[0] : dims[1];
                 const int64_t idx = dep0 ? b0 + i : b1 + j;
-                if (sp == Operand::Weights) {
-                    return d == Dim::K ? profile.kDensity(idx)
-                                       : profile.cDensity(idx);
-                }
-                return d == Dim::N ? profile.iactSampleDensity(idx)
-                                   : profile.iactChannelDensity(idx);
+                return oracle.sliceDensity(sp, d, idx);
             };
 
             // Optional half-tile balancing along the sparse axis.
@@ -342,24 +546,9 @@ simulateLayerPhase(const LayerShape &layer, Phase phase,
                 const Dim d = dep0 ? dims[0] : dims[1];
                 const int64_t base = dep0 ? b0 : b1;
                 const int64_t count = dep0 ? n0 : n1;
-                std::vector<arch::TileHalves> tiles;
-                for (int64_t i = 0; i < count; ++i) {
-                    arch::TileHalves h;
-                    if (sp == Operand::Weights) {
-                        h.first = d == Dim::K
-                                      ? profile.kHalfDensity(base + i, 0)
-                                      : profile.cHalfDensity(base + i, 0);
-                        h.second = d == Dim::K
-                                       ? profile.kHalfDensity(base + i, 1)
-                                       : profile.cHalfDensity(base + i, 1);
-                    } else {
-                        h.first =
-                            profile.iactSampleHalfDensity(base + i, 0);
-                        h.second =
-                            profile.iactSampleHalfDensity(base + i, 1);
-                    }
-                    tiles.push_back(h);
-                }
+                std::vector<TileHalves> tiles;
+                for (int64_t i = 0; i < count; ++i)
+                    tiles.push_back(oracle.sliceHalves(sp, d, base + i));
                 balanced = arch::rebalanceHalfTiles(tiles);
             }
 
@@ -378,11 +567,16 @@ simulateLayerPhase(const LayerShape &layer, Phase phase,
                         dens_sum = density_at(i, j);
                     } else {
                         for (int64_t t = 0; t < count; ++t) {
-                            dens_sum += profile.kernelDensity(
-                                dims[0] == Dim::K ? b0 + i : base + t,
-                                dims[0] == Dim::K ? base + t : b0 + i);
+                            dens_sum += oracle.pairDensity(
+                                sp, dims[0], b0 + i, dims[1], base + t);
                         }
                     }
+                    // A zero-density slot is a fully pruned slice or
+                    // chunk: it holds no weights, retires no MACs, and
+                    // drains no psums — idle, not a phantom one-MAC
+                    // tile.
+                    if (dens_sum <= 0.0)
+                        continue;
                     TileDemand d;
                     d.macs = std::max<int64_t>(
                         1, std::llround(per_index * dens_sum));
@@ -399,14 +593,57 @@ simulateLayerPhase(const LayerShape &layer, Phase phase,
                 }
             }
 
-            const SimResult r = simulateWave(wave, scfg);
-            total.cycles += r.cycles;
-            total.computeCycles += r.computeCycles;
-            total.stallCycles += r.stallCycles;
-            total.macsRetired += r.macsRetired;
+            total.accumulate(simulateWave(wave, scfg));
         }
     }
     return total;
+}
+
+} // namespace
+
+SimResult
+simulateLayerPhase(const LayerShape &layer, Phase phase,
+                   MappingKind mapping,
+                   const LayerSparsityProfile &profile, int64_t batch,
+                   const arch::ArrayConfig &acfg, const SimConfig &scfg,
+                   arch::BalanceMode balance)
+{
+    return buildAndSimulateWaves(layer, phase, mapping, batch, acfg,
+                                 scfg, balance, ProfileOracle{profile});
+}
+
+SimResult
+simulateTraceLayerPhase(const LayerTrace &layer, Phase phase,
+                        MappingKind mapping, int64_t batch,
+                        const arch::ArrayConfig &acfg,
+                        const SimConfig &scfg, arch::BalanceMode balance)
+{
+    return buildAndSimulateWaves(layer.shape, phase, mapping, batch,
+                                 acfg, scfg, balance, TraceOracle{layer});
+}
+
+TraceSimResult
+simulateTraceEpoch(const arch::EpochTrace &epoch, MappingKind mapping,
+                   const arch::ArrayConfig &acfg, const SimConfig &scfg,
+                   arch::BalanceMode balance)
+{
+    PROCRUSTES_ASSERT(epoch.batchSize > 0, "epoch has no batch size");
+    TraceSimResult out;
+    for (const LayerTrace &l : epoch.layers) {
+        out.fw.accumulate(simulateTraceLayerPhase(
+            l, Phase::Forward, mapping, epoch.batchSize, acfg, scfg,
+            balance));
+        out.bw.accumulate(simulateTraceLayerPhase(
+            l, Phase::Backward, mapping, epoch.batchSize, acfg, scfg,
+            balance));
+        out.wu.accumulate(simulateTraceLayerPhase(
+            l, Phase::WeightUpdate, mapping, epoch.batchSize, acfg, scfg,
+            balance));
+    }
+    out.total.accumulate(out.fw);
+    out.total.accumulate(out.bw);
+    out.total.accumulate(out.wu);
+    return out;
 }
 
 } // namespace sim

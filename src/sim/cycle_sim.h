@@ -8,9 +8,35 @@
  * interconnects of Figure 14 (a horizontal bus per row, a vertical bus
  * per column, and a unicast network) deliver operand words, and each PE
  * retires one MAC when both of its operands have arrived. Stalls from
- * interconnect bandwidth, multicast sharing, and drain time become
- * visible, bounding the analytic model's error (asserted in
- * integration tests).
+ * interconnect bandwidth, multicast sharing, GLB bank conflicts,
+ * operand-queue backpressure, and drain time become visible, bounding
+ * the analytic model's error (asserted in integration tests).
+ *
+ * Two memory-side effects are modelled on top of the interconnects:
+ *
+ *  Banked GLB.  Every operand word the interconnects move in a cycle
+ *  is a GLB read, and every drained partial sum a GLB write. Accesses
+ *  interleave over `SimConfig::glbBanks` banks word-round-robin (one
+ *  rolling address counter per wave), each bank serving
+ *  `glbBankPortsPerCycle` words per cycle. When a cycle's accesses
+ *  oversubscribe the banks, the surplus replays in stall cycles
+ *  appended to the wave (`SimResult::glbConflictCycles`); each
+ *  deferred access also counts in `glbConflicts`, and per-bank
+ *  read/write totals land in `glbBankReads` / `glbBankWrites`.
+ *
+ *  PE operand FIFOs.  Each PE buffers at most `peFifoDepth` words per
+ *  operand ahead of consumption (consumption is proportional: word w
+ *  of an operand unlocks MACs up to w * macs / words). Deliveries to a
+ *  full queue are withheld — the bus does not fire for a line whose
+ *  every hungry PE is full — and the withheld PE-operand-cycles are
+ *  counted in `fifoBackpressureCycles`.
+ *
+ * Entry points: simulateWave clocks one explicit WaveSpec;
+ * simulateLayerPhase builds waves from the analytic model's synthetic
+ * sparsity profile; simulateTraceLayerPhase / simulateTraceEpoch build
+ * them from a measured WorkloadTrace epoch (exact epoch-final mask
+ * slice counts and measured activation vectors, shared with the
+ * imbalance replay in arch/trace_imbalance.h).
  */
 
 #ifndef PROCRUSTES_SIM_CYCLE_SIM_H_
@@ -23,6 +49,7 @@
 #include "arch/cost_model.h"
 #include "arch/dataflow.h"
 #include "arch/sparsity_profile.h"
+#include "arch/workload_trace.h"
 
 namespace procrustes {
 namespace sim {
@@ -59,24 +86,84 @@ struct WaveSpec
     std::vector<TileDemand> tiles;   //!< size rows*cols; idle PEs zeroed
 };
 
-/** Result of simulating one wave (or a sequence). */
+/**
+ * Result of simulating one wave (or a sequence). Additive cycle
+ * decomposition: cycles = computeCycles + drainCycles +
+ * glbConflictCycles.
+ */
 struct SimResult
 {
-    int64_t cycles = 0;        //!< total cycles including drain
+    int64_t cycles = 0;        //!< total cycles including drain + stalls
     int64_t computeCycles = 0; //!< cycles until the last MAC retired
     int64_t stallCycles = 0;   //!< PE-cycles stalled waiting on operands
     int64_t macsRetired = 0;
+
+    /** Baseline drain cycles (psum words over the output channel). */
+    int64_t drainCycles = 0;
+
+    /** Whole-array stall cycles replaying oversubscribed GLB banks. */
+    int64_t glbConflictCycles = 0;
+
+    /** GLB accesses deferred past their issue cycle (bank conflicts). */
+    int64_t glbConflicts = 0;
+
+    /** PE-operand-cycles with a delivery withheld by a full queue. */
+    int64_t fifoBackpressureCycles = 0;
+
+    /** Per-bank GLB access totals (size SimConfig::glbBanks). */
+    std::vector<int64_t> glbBankReads;
+    std::vector<int64_t> glbBankWrites;
+
+    /** Accumulate another result (bank vectors resized as needed). */
+    void accumulate(const SimResult &o);
+
+    /** Sum over glbBankReads / glbBankWrites. */
+    int64_t totalGlbReads() const;
+    int64_t totalGlbWrites() const;
 };
 
 /** Simulator configuration. */
 struct SimConfig
 {
-    /** Aggregate unicast-network bandwidth (words/cycle). */
+    /** Aggregate unicast-network bandwidth (words/cycle), shared
+        between both operands when both ride the unicast network. */
     int unicastWordsPerCycle = 16;
+
+    /**
+     * GLB banks; word addresses interleave round-robin across them.
+     * The default (64) covers the peak per-cycle word demand of the
+     * baseline 16x16 array (16 row + 16 col + 16 unicast words), so
+     * conflicts appear only for scaled arrays or narrower GLBs.
+     */
+    int glbBanks = 64;
+
+    /** Words one bank serves per cycle. */
+    int glbBankPortsPerCycle = 1;
+
+    /**
+     * Per-PE, per-operand queue depth in words (<= 0: unbounded).
+     * Deliveries beyond `consumed + depth` words are withheld.
+     */
+    int peFifoDepth = 8;
 
     /** Safety limit on simulated cycles per wave. */
     int64_t maxCycles = 200'000'000;
 };
+
+/**
+ * Share `budget` unicast words round-robin across the slots, starting
+ * at `cursor`: each slot with recv[i] < cap[i] receives at most one
+ * word per cycle, `budget` is decremented per delivered word, and the
+ * returned cursor points one past the LAST slot served — service
+ * resumes where it stopped, so under contention every hungry slot is
+ * reached before any slot is served twice. (The seed advanced the
+ * cursor by one per cycle, systematically re-favouring low indices.)
+ * Exposed as the unicast network's scheduling primitive so fairness is
+ * directly testable.
+ */
+size_t unicastRoundRobin(const std::vector<int64_t> &cap,
+                         std::vector<int64_t> &recv, int &budget,
+                         size_t cursor);
 
 /** Clock one wave to completion. */
 SimResult simulateWave(const WaveSpec &wave, const SimConfig &cfg);
@@ -84,7 +171,10 @@ SimResult simulateWave(const WaveSpec &wave, const SimConfig &cfg);
 /**
  * Build the wave sequence for (layer, phase, mapping) from the same
  * sparsity profile the analytic model uses, then simulate every wave.
- * Operand channels follow classifyFlow().
+ * Operand channels follow classifyFlow(). Slots whose sparse-operand
+ * density is zero (fully pruned slices/chunks) carry zero demand: they
+ * retire no phantom MACs, drain no phantom psums, and are excluded
+ * from stall accounting.
  */
 SimResult simulateLayerPhase(const arch::LayerShape &layer,
                              arch::Phase phase, arch::MappingKind mapping,
@@ -93,6 +183,55 @@ SimResult simulateLayerPhase(const arch::LayerShape &layer,
                              const SimConfig &scfg,
                              arch::BalanceMode balance =
                                  arch::BalanceMode::HalfTile);
+
+/**
+ * Trace-driven variant of simulateLayerPhase: identical wave geometry
+ * (tiling, channels, RF chunking, half-tile balancing), but per-tile
+ * work comes from the measured epoch facts — exact epoch-final mask
+ * slice counts (SparsityMask::tileNnz / blockNnz via
+ * arch::measuredSliceWork / measuredPairWork) for weight-sparse
+ * phases, measured per-sample / per-channel / spatial activation
+ * vectors for the weight-update phase — instead of the profile's
+ * density scalars.
+ */
+SimResult simulateTraceLayerPhase(const arch::LayerTrace &layer,
+                                  arch::Phase phase,
+                                  arch::MappingKind mapping, int64_t batch,
+                                  const arch::ArrayConfig &acfg,
+                                  const SimConfig &scfg,
+                                  arch::BalanceMode balance =
+                                      arch::BalanceMode::HalfTile);
+
+/** Cycle-level account of one traced epoch (one training iteration). */
+struct TraceSimResult
+{
+    SimResult total;   //!< all layers, all three phases
+    SimResult fw;      //!< forward
+    SimResult bw;      //!< backward (data gradients)
+    SimResult wu;      //!< weight update
+
+    /**
+     * Analytic compute latency of the same epoch
+     * (NetworkCost::total().computeCycles) and total.cycles divided by
+     * it — filled by Accelerator::evaluateTrace when it co-runs both
+     * models, negative when simulated stand-alone.
+     */
+    double analyticComputeCycles = -1.0;
+    double analyticCycleRatio = -1.0;
+};
+
+/**
+ * Simulate every layer of a traced epoch across all three training
+ * phases at the trace's own batch size — one training iteration, the
+ * same unit the analytic evaluateTrace reports. Deterministic: depends
+ * only on the epoch's measured facts, never on thread count.
+ */
+TraceSimResult simulateTraceEpoch(const arch::EpochTrace &epoch,
+                                  arch::MappingKind mapping,
+                                  const arch::ArrayConfig &acfg,
+                                  const SimConfig &scfg,
+                                  arch::BalanceMode balance =
+                                      arch::BalanceMode::HalfTile);
 
 } // namespace sim
 } // namespace procrustes

@@ -6,8 +6,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "arch/accelerator.h"
 #include "arch/cost_model.h"
+#include "arch/workload_trace.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "kernels/backend.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/data.h"
+#include "nn/linear.h"
+#include "nn/network.h"
+#include "nn/pooling.h"
+#include "nn/trainer.h"
 #include "sim/cycle_sim.h"
+#include "sparse/gradual_pruning.h"
 #include "sparse/mask.h"
 
 namespace procrustes {
@@ -167,6 +184,333 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<AgreementCase> &info) {
         return info.param.name;
     });
+
+TEST(CycleSim, UnicastBudgetSharedAcrossOperands)
+{
+    // Both operands ride the unicast network: its aggregate bandwidth
+    // is one budget per cycle, not one per operand. 64 PEs x 200
+    // words at 16 words/cycle needs >= 800 delivery cycles;
+    // double-counting the budget per channel would finish in ~400.
+    WaveSpec w = uniformWave(8, 8, 100, 100, 100);
+    w.channelA = Channel::UnicastNet;
+    w.channelB = Channel::UnicastNet;
+    SimConfig cfg;
+    cfg.unicastWordsPerCycle = 16;
+    const SimResult r = simulateWave(w, cfg);
+    EXPECT_GE(r.computeCycles, 800);
+    EXPECT_EQ(r.macsRetired, 64 * 100);
+}
+
+TEST(CycleSim, RoundRobinCursorResumesAtLastServed)
+{
+    // Budget 2 over four equally hungry slots: the cursor must resume
+    // one past the last slot served, so two calls reach all four
+    // exactly once. (The seed advanced the cursor by one per cycle,
+    // re-serving slot 1 while slot 3 starved: recv [1,2,1,0].)
+    const std::vector<int64_t> cap(4, 100);
+    std::vector<int64_t> recv(4, 0);
+    int budget = 2;
+    size_t cursor = unicastRoundRobin(cap, recv, budget, 0);
+    EXPECT_EQ(budget, 0);
+    EXPECT_EQ(cursor, 2u);
+    budget = 2;
+    cursor = unicastRoundRobin(cap, recv, budget, cursor);
+    EXPECT_EQ(budget, 0);
+    EXPECT_EQ(cursor, 0u);
+    EXPECT_EQ(recv, (std::vector<int64_t>{1, 1, 1, 1}));
+}
+
+TEST(CycleSim, RoundRobinSkipsFullSlotsAndKeepsLeftoverBudget)
+{
+    const std::vector<int64_t> cap = {1, 0, 3};
+    std::vector<int64_t> recv = {1, 0, 1};
+    int budget = 4;
+    const size_t cursor = unicastRoundRobin(cap, recv, budget, 0);
+    // Only slot 2 is hungry; it gets one word this cycle, the rest of
+    // the budget is left over, and service resumes after it.
+    EXPECT_EQ(recv, (std::vector<int64_t>{1, 0, 2}));
+    EXPECT_EQ(budget, 3);
+    EXPECT_EQ(cursor, 0u);
+}
+
+TEST(CycleSim, SaturatedRowBusDeliversOneLinePerCycle)
+{
+    // More operand-A words than MACs on the row bus: the wave is
+    // word-bound at one multicast line per row per cycle.
+    WaveSpec w = uniformWave(4, 4, 100, 200, 10);
+    const SimResult r = simulateWave(w, SimConfig{});
+    EXPECT_NEAR(static_cast<double>(r.computeCycles), 200.0, 15.0);
+    EXPECT_GT(r.stallCycles, 0);
+}
+
+TEST(CycleSim, SaturatedColBusDeliversOneLinePerCycle)
+{
+    WaveSpec w = uniformWave(4, 4, 100, 10, 200);
+    const SimResult r = simulateWave(w, SimConfig{});
+    EXPECT_NEAR(static_cast<double>(r.computeCycles), 200.0, 15.0);
+    EXPECT_GT(r.stallCycles, 0);
+}
+
+TEST(CycleSim, DrainOnlyWaveTakesBandwidthBoundCycles)
+{
+    // No MACs, no operand words — just partial sums to drain. The
+    // wave must not spin on compute: 4 PEs x 25 psums over a 4-wide
+    // unicast output channel is exactly 25 drain cycles.
+    WaveSpec w = uniformWave(2, 2, 0, 0, 0);
+    for (auto &t : w.tiles)
+        t.psumWords = 25;
+    SimConfig cfg;
+    cfg.unicastWordsPerCycle = 4;
+    const SimResult r = simulateWave(w, cfg);
+    EXPECT_EQ(r.macsRetired, 0);
+    EXPECT_EQ(r.computeCycles, 0);
+    EXPECT_EQ(r.drainCycles, 25);
+    EXPECT_EQ(r.cycles, 25);
+}
+
+TEST(CycleSim, GlbBankConflictsStallAndAreCounted)
+{
+    // 16 unicast words/cycle against 4 single-ported banks: every
+    // delivery cycle oversubscribes the GLB 4x and must replay.
+    WaveSpec w = uniformWave(8, 8, 100, 1, 100);
+    w.channelB = Channel::UnicastNet;
+    SimConfig cfg;
+    cfg.unicastWordsPerCycle = 16;
+    cfg.glbBanks = 4;
+    cfg.glbBankPortsPerCycle = 1;
+    const SimResult r = simulateWave(w, cfg);
+    EXPECT_GT(r.glbConflicts, 0);
+    EXPECT_GT(r.glbConflictCycles, 0);
+    EXPECT_EQ(r.cycles,
+              r.computeCycles + r.drainCycles + r.glbConflictCycles);
+    // Unicast words read once per PE; the single operand-A word is a
+    // multicast line per row (one GLB read fans out to 8 PEs). Every
+    // psum written once.
+    EXPECT_EQ(r.totalGlbReads(), 64 * 100 + 8);
+    EXPECT_EQ(r.totalGlbWrites(), 64 * 1);
+
+    // The default GLB (64 banks) covers the full per-cycle demand of
+    // the baseline array: same wave, no conflicts.
+    const SimResult wide = simulateWave(w, SimConfig{});
+    EXPECT_EQ(wide.glbConflicts, 0);
+    EXPECT_EQ(wide.glbConflictCycles, 0);
+}
+
+TEST(CycleSim, FifoBackpressureThrottlesDeliveryWithoutSlowdown)
+{
+    // Row bus can feed one word per cycle but each word covers two
+    // MACs: a shallow operand queue fills and withholds deliveries.
+    // Backpressure must be counted, and — since words still arrive
+    // ahead of consumption — must not change the makespan.
+    WaveSpec w = uniformWave(4, 4, 200, 100, 1);
+    SimConfig shallow;
+    shallow.peFifoDepth = 2;
+    const SimResult r_shallow = simulateWave(w, shallow);
+    SimConfig unbounded;
+    unbounded.peFifoDepth = 0;
+    const SimResult r_unbounded = simulateWave(w, unbounded);
+    EXPECT_GT(r_shallow.fifoBackpressureCycles, 0);
+    EXPECT_EQ(r_unbounded.fifoBackpressureCycles, 0);
+    EXPECT_EQ(r_shallow.computeCycles, r_unbounded.computeCycles);
+    EXPECT_EQ(r_shallow.macsRetired, r_unbounded.macsRetired);
+}
+
+TEST(CycleSim, ZeroDensitySlotsStayIdle)
+{
+    // A fully pruned layer maps to zero-demand slots everywhere: no
+    // phantom MACs or psum drain from per-slot floors. (The seed
+    // clamped every slot to at least one MAC and one word, so an
+    // all-zero mask still "computed".)
+    const LayerShape layer = arch::convLayer("z", 32, 32, 3, 8);
+    sparse::SparsityMask mask = sparse::SparsityMask::dense(
+        layer.K, layer.effectiveC(), layer.R, layer.S);
+    std::fill(mask.bits.begin(), mask.bits.end(),
+              static_cast<uint8_t>(0));
+    const LayerSparsityProfile profile(mask, 0.5);
+    const ArrayConfig acfg = ArrayConfig::baseline16();
+    for (Phase phase : {Phase::Forward, Phase::Backward}) {
+        const SimResult r =
+            simulateLayerPhase(layer, phase, MappingKind::KN, profile,
+                               8, acfg, SimConfig{});
+        EXPECT_EQ(r.macsRetired, 0) << static_cast<int>(phase);
+        EXPECT_EQ(r.cycles, 0) << static_cast<int>(phase);
+        EXPECT_EQ(r.stallCycles, 0) << static_cast<int>(phase);
+    }
+}
+
+/** Small sparse-backend conv/bn/relu/fc net (trace-driven tests). */
+void
+buildTraceNet(nn::Network &net, uint64_t seed)
+{
+    nn::Conv2dConfig c1;
+    c1.inChannels = 3;
+    c1.outChannels = 8;
+    c1.kernel = 3;
+    c1.pad = 1;
+    c1.bias = false;
+    nn::Conv2d *conv1 = net.add<nn::Conv2d>(c1, "conv1");
+    conv1->setBackend(kernels::KernelBackend::kSparse);
+    net.add<nn::BatchNorm2d>(8, "bn1");
+    net.add<nn::ReLU>("relu1");
+    net.add<nn::MaxPool2d>(2, "pool1");
+    net.add<nn::GlobalAvgPool>("gap");
+    nn::Linear *fc = net.add<nn::Linear>(8, 4, "fc");
+    fc->setBackend(kernels::KernelBackend::kSparse);
+    Xorshift128Plus rng(seed);
+    nn::kaimingInit(net, rng);
+    // Prune a third of every trainable layer up front so the traced
+    // masks are genuinely sparse from epoch 0.
+    for (size_t i = 0; i < net.size(); ++i) {
+        Tensor *w = nullptr;
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(net.layer(i)))
+            w = &conv->weight().value;
+        else if (auto *lin = dynamic_cast<nn::Linear *>(net.layer(i)))
+            w = &lin->weight().value;
+        if (!w)
+            continue;
+        for (int64_t j = 0; j < w->numel(); j += 3)
+            w->at(j) = 0.0f;
+    }
+}
+
+/** Train 2 epochs and return the trace plus each epoch's co-run. */
+struct TracePipeline
+{
+    arch::WorkloadTrace trace;
+    std::vector<TraceSimResult> sims;
+};
+
+TracePipeline
+runTraceSimPipeline()
+{
+    nn::Network net;
+    buildTraceNet(net, 41);
+    nn::BlobImageConfig dcfg;
+    dcfg.numClasses = 4;
+    dcfg.samplesPerClass = 12;
+    const nn::Dataset train = nn::makeBlobImages(dcfg);
+    dcfg.sampleSeed = 77;
+    const nn::Dataset val = nn::makeBlobImages(dcfg);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batchSize = 8;
+    // Gradual magnitude pruning with an interval shorter than an
+    // epoch, so the two epoch-final masks genuinely differ.
+    sparse::GradualPruningConfig pcfg;
+    pcfg.targetSparsity = 4.0;
+    pcfg.lr = 0.05f;
+    pcfg.pruneInterval = 3;
+    pcfg.pruneFraction = 0.3;
+    pcfg.warmupIterations = 2;
+    sparse::GradualMagnitudePruningOptimizer opt(pcfg);
+    TracePipeline out;
+    trainNetwork(net, opt, train, val, tc, out.trace.observer());
+    const arch::Accelerator acc = arch::Accelerator::procrustes();
+    for (size_t e = 0; e < out.trace.epochCount(); ++e) {
+        TraceSimResult csim;
+        acc.evaluateTrace(out.trace, e, nullptr, &csim);
+        out.sims.push_back(csim);
+    }
+    return out;
+}
+
+TEST(TraceSim, EpochCoRunAgreesWithAnalyticModel)
+{
+    // Integration: the cycle-level simulator replays every traced
+    // epoch from the measured masks/activations, and its total cycles
+    // must stay within a bounded band of the analytic compute latency
+    // (the simulator adds drain, fill, and contention on top — the
+    // band is the fidelity bound BENCH_cosim.json v4 records).
+    const TracePipeline p = runTraceSimPipeline();
+    ASSERT_EQ(p.trace.epochCount(), 2u);
+    for (size_t e = 0; e < p.sims.size(); ++e) {
+        const TraceSimResult &cs = p.sims[e];
+        EXPECT_GT(cs.total.macsRetired, 0) << e;
+        EXPECT_GT(cs.analyticComputeCycles, 0.0) << e;
+        EXPECT_GT(cs.analyticCycleRatio, 0.6) << e;
+        EXPECT_LT(cs.analyticCycleRatio, 3.6) << e;
+        // Additive cycle decomposition holds for the accumulated
+        // epoch, and phases sum to the total.
+        EXPECT_EQ(cs.total.cycles,
+                  cs.total.computeCycles + cs.total.drainCycles +
+                      cs.total.glbConflictCycles)
+            << e;
+        EXPECT_EQ(cs.total.cycles,
+                  cs.fw.cycles + cs.bw.cycles + cs.wu.cycles)
+            << e;
+        EXPECT_EQ(cs.total.macsRetired,
+                  cs.fw.macsRetired + cs.bw.macsRetired +
+                      cs.wu.macsRetired)
+            << e;
+        // The default 64-bank GLB covers the baseline array's peak
+        // per-cycle demand: no conflicts on the default config.
+        EXPECT_EQ(cs.total.glbConflicts, 0) << e;
+        EXPECT_EQ(cs.total.glbConflictCycles, 0) << e;
+        // Reads/writes happened and landed in the bank counters.
+        EXPECT_GT(cs.total.totalGlbReads(), 0) << e;
+        EXPECT_GT(cs.total.totalGlbWrites(), 0) << e;
+    }
+    // Pruning progresses between epochs, so the epochs are genuinely
+    // different workloads (guards against comparing a constant).
+    EXPECT_NE(p.sims[0].total.macsRetired, p.sims[1].total.macsRetired);
+}
+
+/** Restores the process-wide pool to its env-resolved size on exit. */
+struct GlobalPoolGuard
+{
+    ~GlobalPoolGuard() { ThreadPool::resetGlobal(0); }
+};
+
+void
+expectSimResultsIdentical(const SimResult &a, const SimResult &b,
+                          int threads)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << threads;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << threads;
+    EXPECT_EQ(a.stallCycles, b.stallCycles) << threads;
+    EXPECT_EQ(a.macsRetired, b.macsRetired) << threads;
+    EXPECT_EQ(a.drainCycles, b.drainCycles) << threads;
+    EXPECT_EQ(a.glbConflictCycles, b.glbConflictCycles) << threads;
+    EXPECT_EQ(a.glbConflicts, b.glbConflicts) << threads;
+    EXPECT_EQ(a.fifoBackpressureCycles, b.fifoBackpressureCycles)
+        << threads;
+    EXPECT_EQ(a.glbBankReads, b.glbBankReads) << threads;
+    EXPECT_EQ(a.glbBankWrites, b.glbBankWrites) << threads;
+}
+
+TEST(TraceSim, ThreadSweepBitwiseIdenticalAcrossThreadCounts)
+{
+    // The whole trace-driven co-simulation — training on the CSB
+    // executors, telemetry aggregation, and the cycle-level replay —
+    // must be bitwise invariant to the thread-pool size.
+    GlobalPoolGuard guard;
+    ThreadPool::resetGlobal(1);
+    const TracePipeline ref = runTraceSimPipeline();
+    ASSERT_EQ(ref.sims.size(), 2u);
+
+    for (int threads : {2, 3, 8}) {
+        ThreadPool::resetGlobal(threads);
+        ASSERT_EQ(ThreadPool::global().numThreads(), threads);
+        const TracePipeline got = runTraceSimPipeline();
+        ASSERT_EQ(got.sims.size(), ref.sims.size());
+        for (size_t e = 0; e < ref.sims.size(); ++e) {
+            expectSimResultsIdentical(got.sims[e].total,
+                                      ref.sims[e].total, threads);
+            expectSimResultsIdentical(got.sims[e].fw, ref.sims[e].fw,
+                                      threads);
+            expectSimResultsIdentical(got.sims[e].bw, ref.sims[e].bw,
+                                      threads);
+            expectSimResultsIdentical(got.sims[e].wu, ref.sims[e].wu,
+                                      threads);
+            EXPECT_EQ(got.sims[e].analyticComputeCycles,
+                      ref.sims[e].analyticComputeCycles)
+                << threads;
+            EXPECT_EQ(got.sims[e].analyticCycleRatio,
+                      ref.sims[e].analyticCycleRatio)
+                << threads;
+        }
+    }
+}
 
 } // namespace
 } // namespace sim

@@ -59,11 +59,23 @@ COSIM_EPOCH_KEYS = {
     "imbalance_unbalanced_mean", "imbalance_unbalanced_max",
     "imbalance_unbalanced_frac_above_50", "imbalance_balanced_mean",
     "imbalance_balanced_max", "imbalance_balanced_frac_above_10",
-    "speedup", "energy_ratio",
+    "cycle_sim", "speedup", "energy_ratio",
 }
-# v3: measured-traffic energy terms (GLB/DRAM from the trainer's real
-# CSB byte counts) and per-epoch measured-mask imbalance histograms.
-COSIM_VERSION = 3
+COSIM_CYCLE_SIM_KEYS = {
+    "cycles", "compute_cycles", "stall_cycles", "drain_cycles",
+    "glb_conflict_cycles", "glb_conflicts", "glb_reads", "glb_writes",
+    "fifo_backpressure_cycles", "macs_retired",
+    "analytic_compute_cycles", "analytic_cycle_ratio",
+}
+# Sane agreement band for simulated cycles over analytic compute
+# latency: the simulator adds drain, fill, contention, and per-tile
+# rounding, so the ratio sits near (mostly slightly above) 1. Far
+# outside this band one of the two models is broken.
+COSIM_RATIO_MIN = 0.25
+COSIM_RATIO_MAX = 4.0
+# v4: per-epoch cycle_sim block — the cycle-level co-run's stall
+# breakdown, banked-GLB conflict counters, and analytic_cycle_ratio.
+COSIM_VERSION = 4
 
 
 def fail(msg):
@@ -163,6 +175,36 @@ def check_cosim(doc):
             fail(f"epochs[{i}]: balanced mean imbalance "
                  f"{epoch['imbalance_balanced_mean']} exceeds "
                  f"unbalanced {epoch['imbalance_unbalanced_mean']}")
+        cs = epoch["cycle_sim"]
+        if not isinstance(cs, dict):
+            fail(f"epochs[{i}].cycle_sim must be an object")
+        require_keys(cs, COSIM_CYCLE_SIM_KEYS, f"epochs[{i}].cycle_sim")
+        for key in ("cycles", "compute_cycles", "stall_cycles",
+                    "drain_cycles", "glb_conflict_cycles",
+                    "glb_conflicts", "glb_reads", "glb_writes",
+                    "fifo_backpressure_cycles", "macs_retired"):
+            if cs[key] < 0:
+                fail(f"epochs[{i}].cycle_sim.{key} = {cs[key]} "
+                     f"is negative")
+        if cs["cycles"] == 0 or cs["macs_retired"] == 0:
+            fail(f"epochs[{i}].cycle_sim simulated no work")
+        # Total cycles decompose additively: compute + drain + GLB
+        # bank-conflict stalls. A mismatch means the simulator's
+        # accounting broke, not just drifted.
+        expect = (cs["compute_cycles"] + cs["drain_cycles"] +
+                  cs["glb_conflict_cycles"])
+        if cs["cycles"] != expect:
+            fail(f"epochs[{i}].cycle_sim.cycles = {cs['cycles']} but "
+                 f"compute+drain+glb_conflict = {expect}")
+        if cs["stall_cycles"] > cs["compute_cycles"]:
+            fail(f"epochs[{i}].cycle_sim.stall_cycles "
+                 f"{cs['stall_cycles']} exceeds compute_cycles "
+                 f"{cs['compute_cycles']}")
+        ratio = cs["analytic_cycle_ratio"]
+        if not COSIM_RATIO_MIN <= ratio <= COSIM_RATIO_MAX:
+            fail(f"epochs[{i}].cycle_sim.analytic_cycle_ratio = "
+                 f"{ratio} outside sane band "
+                 f"[{COSIM_RATIO_MIN}, {COSIM_RATIO_MAX}]")
 
 
 def main():
