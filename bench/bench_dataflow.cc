@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Dataflow-experiment sweep on the cycle-level simulator: trains the
+ * blob-image CNN with gradual pruning on the CSB sparse backend (same
+ * recipe as cosim_trajectory), takes the final measured epoch — the
+ * high-sparsity regime where serial psum drain dominates — builds its
+ * wave geometry ONCE (sim::buildEpochWavePlan; the geometry depends
+ * only on the measured masks, never on SimConfig), and re-clocks it
+ * across a grid of GLB banks x PE FIFO depth x unicast bandwidth x
+ * drain mode x DRAM refill rate. Each point records total cycles, the
+ * full cycle decomposition (compute / drain / overlapped drain / GLB
+ * conflict replay / exposed refill stall), conflict and backpressure
+ * counters, and analytic_cycle_ratio against the co-run analytic
+ * reference from Accelerator::evaluateTrace (refill-aware when the
+ * point charges refill). This is the Figures 18-19-shaped experiment:
+ * how much array idle time double-buffered outputs reclaim at
+ * measured sparsity, and where bank count / FIFO depth / bandwidth
+ * stop mattering.
+ *
+ * Emits BENCH_dataflow.json (schema in EXPERIMENTS.md, validated by
+ * tools/check_bench_schema.py dataflow).
+ *
+ * Usage: bench_dataflow [--smoke] [--out PATH]
+ *   --smoke   2 epochs on a smaller net and a reduced grid (CI)
+ *   --out     output JSON path (default BENCH_dataflow.json)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "arch/workload_trace.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "sim/cycle_sim.h"
+#include "sparse/gradual_pruning.h"
+#include "train_util.h"
+
+using namespace procrustes;
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_dataflow.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    bench::banner("Dataflow sweep: measured-epoch replay across "
+                  "SimConfig knobs",
+                  "double-buffered drain + DRAM refill at measured "
+                  "sparsity (Figures 18-19 methodology)");
+
+    nn::Network net;
+    bench::buildCnn(net, 6, /*seed=*/3, /*width=*/smoke ? 8 : 16);
+    bench::useSparseBackend(net);
+    auto splits = bench::blobSplits(6);
+
+    sparse::GradualPruningConfig pcfg;
+    pcfg.targetSparsity = 4.0;
+    pcfg.lr = 0.05f;
+    pcfg.pruneInterval = 30;
+    pcfg.pruneFraction = 0.2;
+    pcfg.warmupIterations = 30;
+    sparse::GradualMagnitudePruningOptimizer opt(pcfg);
+
+    nn::TrainConfig tc;
+    tc.epochs = smoke ? 2 : 10;
+    tc.batchSize = 16;
+
+    arch::WorkloadTrace trace;
+    trainNetwork(net, opt, splits.first, splits.second, tc,
+                 trace.observer());
+
+    // The sweep replays the FINAL epoch: maximum pruning, where drain
+    // and refill effects are largest and the serial ratio peaks.
+    const size_t epoch_idx = trace.epochCount() - 1;
+    const arch::EpochTrace &et = trace.epoch(epoch_idx);
+    const arch::Accelerator procrustes = arch::Accelerator::procrustes();
+    const double dram_rate =
+        procrustes.costModel().config().dramWordsPerCycle();
+
+    // Analytic references from the co-running cost model: the plain
+    // compute reference (refill-off points) and the refill-aware one
+    // (refill-on points), each via Accelerator::evaluateTrace.
+    sim::TraceSimResult co_serial;
+    procrustes.evaluateTrace(trace, epoch_idx, nullptr, &co_serial);
+    sim::SimConfig refill_cfg;
+    refill_cfg.dramWordsPerCycle = dram_rate;
+    sim::TraceSimResult co_refill;
+    procrustes.evaluateTrace(trace, epoch_idx, nullptr, &co_refill,
+                             refill_cfg);
+
+    // Build the epoch's wave geometry once; every sweep point re-clocks
+    // this plan (the masks — and so the waves — are knob-independent).
+    const sim::EpochWavePlan plan = sim::buildEpochWavePlan(
+        et, procrustes.mapping(), procrustes.costModel().config(),
+        procrustes.costModel().options().balance);
+
+    // Plan-reuse self-check: the cached-geometry path must reproduce
+    // the co-run simulations bit for bit.
+    {
+        const sim::TraceSimResult chk =
+            sim::simulateEpochPlan(plan, sim::SimConfig{});
+        PROCRUSTES_ASSERT(chk.total.cycles == co_serial.total.cycles,
+                          "plan replay diverged from evaluateTrace co-run");
+        const sim::TraceSimResult chk_r =
+            sim::simulateEpochPlan(plan, refill_cfg);
+        PROCRUSTES_ASSERT(chk_r.total.cycles == co_refill.total.cycles,
+                          "refill plan replay diverged from co-run");
+    }
+
+    const std::vector<int> banks_axis =
+        smoke ? std::vector<int>{32, 64}
+              : std::vector<int>{16, 32, 64, 128};
+    const std::vector<int> fifo_axis =
+        smoke ? std::vector<int>{8} : std::vector<int>{2, 8, 32};
+    const std::vector<int> unicast_axis =
+        smoke ? std::vector<int>{8, 16}
+              : std::vector<int>{4, 8, 16, 32};
+    const std::vector<bool> drain_axis = {false, true};
+    const std::vector<double> dram_axis = {0.0, dram_rate};
+
+    FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    bench::emitHostJson(f);
+    std::fprintf(f,
+                 "  \"config\": {\"epochs\": %lld, \"batch\": %lld, "
+                 "\"target_sparsity\": %.1f, \"epoch_index\": %zu,\n"
+                 "    \"weight_density\": %.4f, \"iact_density\": %.4f},\n",
+                 static_cast<long long>(tc.epochs),
+                 static_cast<long long>(tc.batchSize),
+                 pcfg.targetSparsity, epoch_idx, et.meanWeightDensity(),
+                 et.meanIactDensity());
+    std::fprintf(f,
+                 "  \"analytic\": {\"compute_cycles\": %.6g, "
+                 "\"refill_ref_cycles\": %.6g, "
+                 "\"dram_words_per_cycle\": %.4f},\n",
+                 co_serial.analyticRefCycles, co_refill.analyticRefCycles,
+                 dram_rate);
+    std::fprintf(f, "  \"grid\": {\"glb_banks\": [");
+    for (size_t i = 0; i < banks_axis.size(); ++i)
+        std::fprintf(f, "%s%d", i ? ", " : "", banks_axis[i]);
+    std::fprintf(f, "], \"pe_fifo_depth\": [");
+    for (size_t i = 0; i < fifo_axis.size(); ++i)
+        std::fprintf(f, "%s%d", i ? ", " : "", fifo_axis[i]);
+    std::fprintf(f, "], \"unicast_words_per_cycle\": [");
+    for (size_t i = 0; i < unicast_axis.size(); ++i)
+        std::fprintf(f, "%s%d", i ? ", " : "", unicast_axis[i]);
+    std::fprintf(f,
+                 "],\n    \"drain\": [\"serial\", \"double_buffered\"], "
+                 "\"dram_words_per_cycle\": [0.0, %.4f]},\n",
+                 dram_rate);
+    std::fprintf(f, "  \"points\": [\n");
+
+    std::printf("banks | fifo | uni | drain | dram |     cycles | "
+                "overlap |  refill |  stall | sim/an\n");
+    const size_t total_points = banks_axis.size() * fifo_axis.size() *
+                                unicast_axis.size() * drain_axis.size() *
+                                dram_axis.size();
+    size_t emitted = 0;
+    double dflt_serial = -1.0, dflt_db = -1.0;
+    for (int banks : banks_axis) {
+        for (int fifo : fifo_axis) {
+            for (int uni : unicast_axis) {
+                for (bool db : drain_axis) {
+                    for (double dram : dram_axis) {
+                        sim::SimConfig cfg;
+                        cfg.glbBanks = banks;
+                        cfg.peFifoDepth = fifo;
+                        cfg.unicastWordsPerCycle = uni;
+                        cfg.doubleBufferOutputs = db;
+                        cfg.dramWordsPerCycle = dram;
+                        const sim::TraceSimResult r =
+                            sim::simulateEpochPlan(plan, cfg);
+                        const double ref =
+                            dram > 0.0 ? co_refill.analyticRefCycles
+                                       : co_serial.analyticRefCycles;
+                        const double ratio =
+                            ref > 0.0 ? static_cast<double>(
+                                            r.total.cycles) /
+                                            ref
+                                      : -1.0;
+                        if (banks == 64 && fifo == 8 && uni == 16 &&
+                            dram == 0.0) {
+                            (db ? dflt_db : dflt_serial) = ratio;
+                        }
+                        std::fprintf(
+                            f,
+                            "    {\"glb_banks\": %d, "
+                            "\"pe_fifo_depth\": %d, "
+                            "\"unicast_words_per_cycle\": %d, "
+                            "\"drain\": \"%s\", "
+                            "\"dram_words_per_cycle\": %.4f,\n"
+                            "     \"cycles\": %lld, "
+                            "\"compute_cycles\": %lld, "
+                            "\"drain_cycles\": %lld, "
+                            "\"overlapped_drain_cycles\": %lld,\n"
+                            "     \"glb_conflict_cycles\": %lld, "
+                            "\"glb_conflicts\": %lld, "
+                            "\"fifo_backpressure_cycles\": %lld,\n"
+                            "     \"dram_refill_cycles\": %lld, "
+                            "\"dram_stall_cycles\": %lld, "
+                            "\"macs_retired\": %lld,\n"
+                            "     \"analytic_cycle_ratio\": %.4f}%s\n",
+                            banks, fifo, uni,
+                            db ? "double_buffered" : "serial", dram,
+                            static_cast<long long>(r.total.cycles),
+                            static_cast<long long>(
+                                r.total.computeCycles),
+                            static_cast<long long>(r.total.drainCycles),
+                            static_cast<long long>(
+                                r.total.overlappedDrainCycles),
+                            static_cast<long long>(
+                                r.total.glbConflictCycles),
+                            static_cast<long long>(r.total.glbConflicts),
+                            static_cast<long long>(
+                                r.total.fifoBackpressureCycles),
+                            static_cast<long long>(
+                                r.total.dramRefillCycles),
+                            static_cast<long long>(
+                                r.total.dramStallCycles),
+                            static_cast<long long>(r.total.macsRetired),
+                            ratio,
+                            ++emitted < total_points ? "," : "");
+                        std::printf(
+                            "%5d | %4d | %3d | %s | %4.1f | %10lld | "
+                            "%7lld | %7lld | %6lld | %.2f\n",
+                            banks, fifo, uni, db ? "   db " : "serial",
+                            dram,
+                            static_cast<long long>(r.total.cycles),
+                            static_cast<long long>(
+                                r.total.overlappedDrainCycles),
+                            static_cast<long long>(
+                                r.total.dramRefillCycles),
+                            static_cast<long long>(
+                                r.total.dramStallCycles),
+                            ratio);
+                    }
+                }
+            }
+        }
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"default_point\": {\"serial_ratio\": %.4f, "
+                 "\"double_buffered_ratio\": %.4f}\n",
+                 dflt_serial, dflt_db);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("default knobs: serial ratio %.2f -> double-buffered "
+                "%.2f\n",
+                dflt_serial, dflt_db);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

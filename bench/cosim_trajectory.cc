@@ -10,8 +10,11 @@
  * PE-array simulator co-runs every epoch from the same measured
  * masks/vectors (banked GLB, operand FIFOs, explicit interconnects)
  * and each epoch records its stall breakdown plus
- * analytic_cycle_ratio — the fidelity bound on the analytic cycles.
- * Emits BENCH_cosim.json v4 (schema documented in EXPERIMENTS.md)
+ * analytic_cycle_ratio — the fidelity bound on the analytic cycles —
+ * in serial-drain mode plus, since v5, the double-buffered-drain
+ * cycles of the same epoch (db_cycles / db_analytic_cycle_ratio,
+ * simulated from one shared wave plan).
+ * Emits BENCH_cosim.json v5 (schema documented in EXPERIMENTS.md)
  * with host information so single-core results are interpretable.
  *
  * Usage: cosim_trajectory [--smoke] [--out PATH]
@@ -34,23 +37,6 @@
 #include "train_util.h"
 
 using namespace procrustes;
-
-namespace {
-
-/** Switch every Conv2d AND Linear to the CSB sparse backend, so fc
- *  layers contribute measured (not modelled) MACs to the trajectory. */
-void
-useSparseBackend(nn::Network &net)
-{
-    for (size_t i = 0; i < net.size(); ++i) {
-        if (auto *conv = dynamic_cast<nn::Conv2d *>(net.layer(i)))
-            conv->setBackend(kernels::KernelBackend::kSparse);
-        else if (auto *fc = dynamic_cast<nn::Linear *>(net.layer(i)))
-            fc->setBackend(kernels::KernelBackend::kSparse);
-    }
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -76,7 +62,7 @@ main(int argc, char **argv)
 
     nn::Network net;
     bench::buildCnn(net, 6, /*seed=*/3, /*width=*/smoke ? 8 : 16);
-    useSparseBackend(net);
+    bench::useSparseBackend(net);
 
     auto splits = bench::blobSplits(6);
 
@@ -106,7 +92,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"version\": 4,\n");
+    std::fprintf(f, "  \"version\": 5,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     bench::emitHostJson(f);
     std::fprintf(f,
@@ -118,13 +104,28 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"epochs\": [\n");
 
     std::printf("epoch | val acc | w-dens | a-dens |   macs/step | "
-                "speedup | energy x | imb u->b | sim/an\n");
+                "speedup | energy x | imb u->b | sim/an | db/an\n");
     for (size_t e = 0; e < trace.epochCount(); ++e) {
         const arch::EpochTrace &et = trace.epoch(e);
         arch::EpochImbalance imb;
         sim::TraceSimResult csim;
         const arch::NetworkCost sc =
             procrustes.evaluateTrace(trace, e, &imb, &csim);
+        // Double-buffered-drain co-run of the same epoch: same wave
+        // geometry (built once via the plan API), second psum buffer
+        // overlapping each drain with the next wave's fill.
+        sim::SimConfig db_cfg;
+        db_cfg.doubleBufferOutputs = true;
+        const sim::EpochWavePlan plan = sim::buildEpochWavePlan(
+            et, procrustes.mapping(), procrustes.costModel().config(),
+            procrustes.costModel().options().balance);
+        const sim::TraceSimResult csim_db =
+            sim::simulateEpochPlan(plan, db_cfg);
+        const double db_ratio =
+            csim.analyticRefCycles > 0.0
+                ? static_cast<double>(csim_db.total.cycles) /
+                      csim.analyticRefCycles
+                : -1.0;
         const arch::NetworkCost dc = baseline.evaluateTrace(trace, e);
         const arch::PhaseCost st = sc.total();
         const arch::PhaseCost dt = dc.total();
@@ -168,7 +169,10 @@ main(int argc, char **argv)
             "\"fifo_backpressure_cycles\": %lld,\n"
             "      \"macs_retired\": %lld, "
             "\"analytic_compute_cycles\": %.6g, "
-            "\"analytic_cycle_ratio\": %.4f},\n"
+            "\"analytic_cycle_ratio\": %.4f,\n"
+            "      \"db_cycles\": %lld, "
+            "\"db_overlapped_drain_cycles\": %lld, "
+            "\"db_analytic_cycle_ratio\": %.4f},\n"
             "     \"speedup\": %.3f, \"energy_ratio\": %.3f}%s\n",
             e, history[e].trainLoss, history[e].valAccuracy,
             et.meanWeightDensity(), et.meanIactDensity(),
@@ -192,14 +196,17 @@ main(int argc, char **argv)
             static_cast<long long>(csim.total.fifoBackpressureCycles),
             static_cast<long long>(csim.total.macsRetired),
             csim.analyticComputeCycles, csim.analyticCycleRatio,
-            speedup, eratio,
+            static_cast<long long>(csim_db.total.cycles),
+            static_cast<long long>(csim_db.total.overlappedDrainCycles),
+            db_ratio, speedup, eratio,
             e + 1 < trace.epochCount() ? "," : "");
         std::printf("%5zu |   %.3f |  %.3f |  %.3f | %11.0f | %6.2fx | "
-                    "%6.2fx | %.3f->%.3f | %.2f\n",
+                    "%6.2fx | %.3f->%.3f | %.2f | %.2f\n",
                     e, history[e].valAccuracy, et.meanWeightDensity(),
                     et.meanIactDensity(), et.totalMacsPerStep(), speedup,
                     eratio, imb.unbalanced.meanOverhead,
-                    imb.balanced.meanOverhead, csim.analyticCycleRatio);
+                    imb.balanced.meanOverhead, csim.analyticCycleRatio,
+                    db_ratio);
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -77,6 +77,19 @@ buildCnn(nn::Network &net, int classes, uint64_t seed,
     nn::kaimingInit(net, rng);
 }
 
+/** Switch every Conv2d AND Linear to the CSB sparse backend, so fc
+ *  layers contribute measured (not modelled) MACs to a trace. */
+inline void
+useSparseBackend(nn::Network &net)
+{
+    for (size_t i = 0; i < net.size(); ++i) {
+        if (auto *conv = dynamic_cast<nn::Conv2d *>(net.layer(i)))
+            conv->setBackend(kernels::KernelBackend::kSparse);
+        else if (auto *fc = dynamic_cast<nn::Linear *>(net.layer(i)))
+            fc->setBackend(kernels::KernelBackend::kSparse);
+    }
+}
+
 /** Spiral train/val pair. */
 inline std::pair<nn::Dataset, nn::Dataset>
 spiralSplits()

@@ -1,5 +1,8 @@
 #include "arch/accelerator.h"
 
+#include <algorithm>
+#include <initializer_list>
+
 #include "common/logging.h"
 
 namespace procrustes {
@@ -62,6 +65,7 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
     const NetworkModel net = trace.networkModel(epoch_idx);
 
     NetworkCost cost;
+    double analytic_ref = 0.0;
     for (size_t i = 0; i < net.layers.size(); ++i) {
         const LayerTrace &l = e.layers[i];
         // Measured executed-MAC counts stand in for the density
@@ -97,15 +101,33 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
             bw.macs = l.bwDataMacsPerStep();
             wu.macs = l.bwWeightMacsPerStep();
         }
-        cost.fw += model_.evaluatePhase(net.layers[i], Phase::Forward,
-                                        mapping_, profiles[i],
-                                        e.batchSize, fw);
-        cost.bw += model_.evaluatePhase(net.layers[i], Phase::Backward,
-                                        mapping_, profiles[i],
-                                        e.batchSize, bw);
-        cost.wu += model_.evaluatePhase(net.layers[i],
-                                        Phase::WeightUpdate, mapping_,
-                                        profiles[i], e.batchSize, wu);
+        const PhaseCost pc_fw = model_.evaluatePhase(
+            net.layers[i], Phase::Forward, mapping_, profiles[i],
+            e.batchSize, fw);
+        const PhaseCost pc_bw = model_.evaluatePhase(
+            net.layers[i], Phase::Backward, mapping_, profiles[i],
+            e.batchSize, bw);
+        const PhaseCost pc_wu = model_.evaluatePhase(
+            net.layers[i], Phase::WeightUpdate, mapping_, profiles[i],
+            e.batchSize, wu);
+        cost.fw += pc_fw;
+        cost.bw += pc_bw;
+        cost.wu += pc_wu;
+        // Refill-aware analytic reference for the cycle-sim ratio:
+        // when the co-run SimConfig charges DRAM->GLB refill, bound
+        // each phase below by the same words at the same rate
+        // (overlap-aware, matching CostOptions::dramRefillWordsPerCycle
+        // semantics); with refill off this is exactly computeCycles.
+        for (const PhaseCost &pc : {pc_fw, pc_bw, pc_wu}) {
+            double ref = pc.computeCycles;
+            if (sim_cfg.dramWordsPerCycle > 0.0) {
+                const double dwords =
+                    pc.dramCycles * model_.config().dramWordsPerCycle();
+                ref = std::max(ref,
+                               dwords / sim_cfg.dramWordsPerCycle);
+            }
+            analytic_ref += ref;
+        }
     }
     if (imbalance) {
         *imbalance = measuredEpochImbalance(
@@ -116,10 +138,11 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
                                              sim_cfg,
                                              model_.options().balance);
         cycle_sim->analyticComputeCycles = cost.total().computeCycles;
+        cycle_sim->analyticRefCycles = analytic_ref;
         cycle_sim->analyticCycleRatio =
-            cycle_sim->analyticComputeCycles > 0.0
+            cycle_sim->analyticRefCycles > 0.0
                 ? static_cast<double>(cycle_sim->total.cycles) /
-                      cycle_sim->analyticComputeCycles
+                      cycle_sim->analyticRefCycles
                 : -1.0;
     }
     return cost;

@@ -496,6 +496,12 @@ CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
     cost.cycles = opts_.dramBound
                       ? std::max(cost.computeCycles, cost.dramCycles)
                       : cost.computeCycles;
+    // Refill mirror of the cycle simulator's DRAM front end: the same
+    // words at an explicit bandwidth, double-buffered against compute
+    // so only the excess extends the phase.
+    if (opts_.dramRefillWordsPerCycle > 0.0)
+        cost.cycles = std::max(cost.cycles,
+                               dwords / opts_.dramRefillWordsPerCycle);
 
     cost.macEnergyJ = cost.macs * cfg_.macPj * 1e-12;
     cost.rfEnergyJ =

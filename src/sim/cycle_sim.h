@@ -12,7 +12,7 @@
  * operand-queue backpressure, and drain time become visible, bounding
  * the analytic model's error (asserted in integration tests).
  *
- * Two memory-side effects are modelled on top of the interconnects:
+ * Memory-side effects modelled on top of the interconnects:
  *
  *  Banked GLB.  Every operand word the interconnects move in a cycle
  *  is a GLB read, and every drained partial sum a GLB write. Accesses
@@ -31,12 +31,63 @@
  *  every hungry PE is full — and the withheld PE-operand-cycles are
  *  counted in `fifoBackpressureCycles`.
  *
+ *  Double-buffered psum drain (`SimConfig::doubleBufferOutputs`).
+ *  With a single psum buffer the array sits idle while a wave's
+ *  partial sums stream out over the output channel — drain is
+ *  density-independent, so it dominates at high sparsity. With a
+ *  second buffer, wave N's psums swap into a staging buffer at wave
+ *  end and stream into the GLB while wave N+1 fills and computes. The
+ *  staged writes go through the GLB's own write machinery, so the
+ *  drain stops being output-channel-bound and becomes bank-bound: in
+ *  each compute window the staged words consume the write bandwidth
+ *  the window leaves spare (banks x ports x cycles minus the window's
+ *  operand reads — reads have priority, so the overlap never slows
+ *  the fill), and words still pending when the window closes flush at
+ *  the full aggregate bank bandwidth before the next swap. The cycles
+ *  saved versus serial drain land in
+ *  `SimResult::overlappedDrainCycles`. The second buffer's GLB write
+ *  traffic still flows through the banked-GLB conflict accounting —
+ *  writes are charged to banks exactly as in serial mode, so the
+ *  per-bank traffic image is identical in both modes and only the
+ *  timing differs. A narrow GLB therefore throttles the overlap
+ *  twice: little spare bandwidth during compute, and a slow flush.
+ *
+ *  DRAM->GLB refill (`SimConfig::dramWordsPerCycle`).  When positive,
+ *  a refill front end charges the cycles needed to stream each traced
+ *  (layer, phase)'s working set from DRAM into the GLB at this rate —
+ *  from the *measured* byte counts (compressed weight image
+ *  `LayerTrace::csbWeightBytes`, activation volumes scaled by the
+ *  measured densities), so TraceSimResult prices end-to-end traffic,
+ *  not just bank contention. Refill is double-buffered against
+ *  compute: only the demand exceeding the phase's array-busy window is
+ *  exposed (`dramStallCycles`); the full demand is reported in
+ *  `dramRefillCycles`. Only the trace-driven entry points model
+ *  refill (the profile path has no measured bytes).
+ *
+ * Cycle accounting contract: for every result,
+ *
+ *   cycles = computeCycles + drainCycles + glbConflictCycles
+ *            - overlappedDrainCycles + dramStallCycles.
+ *
+ * In serial mode with refill off (the defaults) the last two terms
+ * are zero and the decomposition is the historical additive identity
+ * `cycles = compute + drain + glb_conflict`. With double buffering
+ * the identity over the first three terms becomes an inequality
+ * (cycles <= compute + drain + glb_conflict): the slack is exactly
+ * `overlappedDrainCycles`. With refill on, cycles additionally grow
+ * by the exposed (non-overlapped) refill stall.
+ *
  * Entry points: simulateWave clocks one explicit WaveSpec;
- * simulateLayerPhase builds waves from the analytic model's synthetic
- * sparsity profile; simulateTraceLayerPhase / simulateTraceEpoch build
- * them from a measured WorkloadTrace epoch (exact epoch-final mask
- * slice counts and measured activation vectors, shared with the
- * imbalance replay in arch/trace_imbalance.h).
+ * simulateWaveSequence chains a sequence (with drain overlap when
+ * enabled); simulateLayerPhase builds waves from the analytic model's
+ * synthetic sparsity profile; simulateTraceLayerPhase /
+ * simulateTraceEpoch build them from a measured WorkloadTrace epoch
+ * (exact epoch-final mask slice counts and measured activation
+ * vectors, shared with the imbalance replay in
+ * arch/trace_imbalance.h). buildEpochWavePlan / simulateEpochPlan
+ * split the epoch replay into its SimConfig-independent geometry and
+ * the per-config clocking, so knob sweeps over one measured epoch
+ * (bench_dataflow) build the waves once.
  */
 
 #ifndef PROCRUSTES_SIM_CYCLE_SIM_H_
@@ -87,9 +138,11 @@ struct WaveSpec
 };
 
 /**
- * Result of simulating one wave (or a sequence). Additive cycle
- * decomposition: cycles = computeCycles + drainCycles +
- * glbConflictCycles.
+ * Result of simulating one wave (or a sequence/epoch). See the file
+ * header for the cycle accounting contract: cycles = compute + drain
+ * + glb_conflict - overlapped_drain + dram_stall, which collapses to
+ * the additive compute + drain + glb_conflict identity in serial
+ * mode with refill off.
  */
 struct SimResult
 {
@@ -101,6 +154,17 @@ struct SimResult
     /** Baseline drain cycles (psum words over the output channel). */
     int64_t drainCycles = 0;
 
+    /**
+     * Cycles the second psum buffer saves versus serial drain
+     * (doubleBufferOutputs): staged words hidden in the next compute
+     * window's spare GLB write bandwidth, plus the speedup of flushing
+     * leftovers at aggregate bank bandwidth instead of the output
+     * channel. Zero in serial mode; never exceeds drainCycles +
+     * glbConflictCycles, and never negative (double-buffered never
+     * clocks slower than serial on the same waves).
+     */
+    int64_t overlappedDrainCycles = 0;
+
     /** Whole-array stall cycles replaying oversubscribed GLB banks. */
     int64_t glbConflictCycles = 0;
 
@@ -109,6 +173,19 @@ struct SimResult
 
     /** PE-operand-cycles with a delivery withheld by a full queue. */
     int64_t fifoBackpressureCycles = 0;
+
+    /**
+     * Total DRAM->GLB refill demand in cycles (measured bytes over
+     * SimConfig::dramWordsPerCycle); zero when refill is off.
+     */
+    int64_t dramRefillCycles = 0;
+
+    /**
+     * Refill cycles not hidden under the array-busy window (the
+     * double-buffered GLB exposes only the excess); included in
+     * `cycles`. Never exceeds dramRefillCycles.
+     */
+    int64_t dramStallCycles = 0;
 
     /** Per-bank GLB access totals (size SimConfig::glbBanks). */
     std::vector<int64_t> glbBankReads;
@@ -146,9 +223,35 @@ struct SimConfig
      */
     int peFifoDepth = 8;
 
+    /**
+     * Double-buffered partial-sum outputs: wave N's psums stage into a
+     * second buffer and stream to the GLB through the spare banked
+     * write bandwidth of wave N+1's fill/compute window (see file
+     * header). Off by default: drain is serial over the output
+     * channel, preserving the additive decomposition.
+     */
+    bool doubleBufferOutputs = false;
+
+    /**
+     * DRAM->GLB refill bandwidth in words/cycle for the trace-driven
+     * entry points; <= 0 (default) disables the refill front end. The
+     * paper's 64-bit interface at one transfer per cycle is 2.0
+     * 32-bit words/cycle (ArrayConfig::dramWordsPerCycle()).
+     */
+    double dramWordsPerCycle = 0.0;
+
     /** Safety limit on simulated cycles per wave. */
     int64_t maxCycles = 200'000'000;
 };
+
+/**
+ * Validate a SimConfig at an entry point: rejects non-positive
+ * `unicastWordsPerCycle` / `glbBanks` / `glbBankPortsPerCycle` /
+ * `maxCycles` (silent div-by-zero or a spin otherwise) with a clear
+ * FATAL error. `peFifoDepth <= 0` (unbounded) and
+ * `dramWordsPerCycle <= 0` (refill off) are valid by design.
+ */
+void validateSimConfig(const SimConfig &cfg);
 
 /**
  * Share `budget` unicast words round-robin across the slots, starting
@@ -165,16 +268,28 @@ size_t unicastRoundRobin(const std::vector<int64_t> &cap,
                          std::vector<int64_t> &recv, int &budget,
                          size_t cursor);
 
-/** Clock one wave to completion. */
+/** Clock one wave to completion (serial drain: a single wave has no
+    successor to overlap with). */
 SimResult simulateWave(const WaveSpec &wave, const SimConfig &cfg);
 
 /**
+ * Clock a sequence of waves in order. With
+ * `cfg.doubleBufferOutputs`, each wave's drain overlaps the next
+ * wave's fill/compute (two-psum-buffer pipeline; the hidden cycles
+ * land in overlappedDrainCycles); otherwise the waves run serially
+ * and results simply accumulate.
+ */
+SimResult simulateWaveSequence(const std::vector<WaveSpec> &waves,
+                               const SimConfig &cfg);
+
+/**
  * Build the wave sequence for (layer, phase, mapping) from the same
- * sparsity profile the analytic model uses, then simulate every wave.
- * Operand channels follow classifyFlow(). Slots whose sparse-operand
- * density is zero (fully pruned slices/chunks) carry zero demand: they
- * retire no phantom MACs, drain no phantom psums, and are excluded
- * from stall accounting.
+ * sparsity profile the analytic model uses, then simulate every wave
+ * (drain-overlapped when cfg.doubleBufferOutputs). Operand channels
+ * follow classifyFlow(). Slots whose sparse-operand density is zero
+ * (fully pruned slices/chunks) carry zero demand: they retire no
+ * phantom MACs, drain no phantom psums, and are excluded from stall
+ * accounting. No DRAM refill: the profile path has no measured bytes.
  */
 SimResult simulateLayerPhase(const arch::LayerShape &layer,
                              arch::Phase phase, arch::MappingKind mapping,
@@ -192,7 +307,8 @@ SimResult simulateLayerPhase(const arch::LayerShape &layer,
  * arch::measuredSliceWork / measuredPairWork) for weight-sparse
  * phases, measured per-sample / per-channel / spatial activation
  * vectors for the weight-update phase — instead of the profile's
- * density scalars.
+ * density scalars. When cfg.dramWordsPerCycle > 0 the phase is also
+ * charged its DRAM->GLB refill from the layer's measured bytes.
  */
 SimResult simulateTraceLayerPhase(const arch::LayerTrace &layer,
                                   arch::Phase phase,
@@ -201,6 +317,52 @@ SimResult simulateTraceLayerPhase(const arch::LayerTrace &layer,
                                   const SimConfig &scfg,
                                   arch::BalanceMode balance =
                                       arch::BalanceMode::HalfTile);
+
+/**
+ * DRAM->GLB refill demand of one traced (layer, phase) in 32-bit
+ * words, from the measured facts: the compressed weight image
+ * (LayerTrace::csbWeightBytes — falls back to the mask-density
+ * estimate when a trace predates byte telemetry) plus dense/compressed
+ * activation volumes scaled by the measured input density, mirroring
+ * the per-phase structure of CostModel::dramWords for the sparse
+ * machine.
+ */
+double traceRefillWords(const arch::LayerTrace &layer, arch::Phase phase,
+                        int64_t batch);
+
+/**
+ * SimConfig-independent wave geometry of one traced (layer, phase):
+ * the exact WaveSpec sequence simulateTraceLayerPhase would clock,
+ * plus the phase's DRAM refill word demand. Building this is the
+ * expensive part of a trace replay (mask slice queries, balancing);
+ * it depends only on the epoch's measured facts, the mapping, the
+ * array geometry, and the balance mode — never on SimConfig — so
+ * knob sweeps build it once and re-clock it per configuration.
+ */
+struct PhaseWavePlan
+{
+    size_t layerIndex = 0;
+    arch::Phase phase = arch::Phase::Forward;
+    std::vector<WaveSpec> waves;
+    double refillWords = 0.0;   //!< DRAM->GLB demand (32-bit words)
+};
+
+/** Wave geometry of a whole traced epoch, in execution order:
+    forward through the layers, then backward-data and weight-update
+    per layer in reverse — the order the drain-overlap chain follows. */
+struct EpochWavePlan
+{
+    int64_t batchSize = 0;
+    std::vector<PhaseWavePlan> order;
+};
+
+/** Build the epoch's wave geometry once (parallel over (layer, phase)
+    via the shared ThreadPool; bitwise thread-count-invariant). */
+EpochWavePlan buildEpochWavePlan(const arch::EpochTrace &epoch,
+                                 arch::MappingKind mapping,
+                                 const arch::ArrayConfig &acfg,
+                                 arch::BalanceMode balance =
+                                     arch::BalanceMode::HalfTile);
 
 /** Cycle-level account of one traced epoch (one training iteration). */
 struct TraceSimResult
@@ -212,19 +374,35 @@ struct TraceSimResult
 
     /**
      * Analytic compute latency of the same epoch
-     * (NetworkCost::total().computeCycles) and total.cycles divided by
-     * it — filled by Accelerator::evaluateTrace when it co-runs both
-     * models, negative when simulated stand-alone.
+     * (NetworkCost::total().computeCycles) — filled by
+     * Accelerator::evaluateTrace when it co-runs both models,
+     * negative when simulated stand-alone.
      */
     double analyticComputeCycles = -1.0;
+
+    /**
+     * Analytic reference the simulated total is compared against:
+     * equal to analyticComputeCycles when the co-run's SimConfig
+     * models no refill, otherwise the per-(layer, phase) overlap-aware
+     * refill bound max(compute, dram_words / dramWordsPerCycle) summed
+     * over the epoch — the CostModel mirror of the simulator's refill
+     * front end, so the ratio stays meaningful when the simulator
+     * prices end-to-end traffic.
+     */
+    double analyticRefCycles = -1.0;
+
+    /** total.cycles / analyticRefCycles (negative stand-alone). */
     double analyticCycleRatio = -1.0;
 };
 
 /**
  * Simulate every layer of a traced epoch across all three training
  * phases at the trace's own batch size — one training iteration, the
- * same unit the analytic evaluateTrace reports. Deterministic: depends
- * only on the epoch's measured facts, never on thread count.
+ * same unit the analytic evaluateTrace reports. Equivalent to
+ * buildEpochWavePlan + simulateEpochPlan. Deterministic: depends only
+ * on the epoch's measured facts, never on thread count (the
+ * (layer, phase) pieces simulate in parallel on the shared ThreadPool
+ * and accumulate in fixed execution order).
  */
 TraceSimResult simulateTraceEpoch(const arch::EpochTrace &epoch,
                                   arch::MappingKind mapping,
@@ -232,6 +410,19 @@ TraceSimResult simulateTraceEpoch(const arch::EpochTrace &epoch,
                                   const SimConfig &scfg,
                                   arch::BalanceMode balance =
                                       arch::BalanceMode::HalfTile);
+
+/**
+ * Clock a prebuilt epoch plan under one SimConfig. With
+ * doubleBufferOutputs the drain-overlap chain runs across the whole
+ * execution order — wave N's drain hides under wave N+1's
+ * fill/compute even across layer and phase boundaries (the pipelined
+ * dataflow the paper's Figures 18-19 assume); cross-boundary hidden
+ * cycles are attributed to `total` only, so with overlap on
+ * total.cycles <= fw.cycles + bw.cycles + wu.cycles (equality holds
+ * in serial mode).
+ */
+TraceSimResult simulateEpochPlan(const EpochWavePlan &plan,
+                                 const SimConfig &scfg);
 
 } // namespace sim
 } // namespace procrustes

@@ -287,6 +287,41 @@ TEST(CostModel, CyclesBoundedByDramWhenTrafficDominates)
     EXPECT_DOUBLE_EQ(pc2.cycles, pc2.computeCycles);
 }
 
+TEST(CostModel, RefillRateBoundsCyclesLikeTheSimulatorFrontEnd)
+{
+    // dramRefillWordsPerCycle mirrors the cycle simulator's DRAM->GLB
+    // refill: cycles become max(cycles, dram_words / rate). A generous
+    // rate leaves the estimate untouched; a starved rate makes the
+    // phase refill-bound; disabled (<= 0, the default) is a no-op.
+    const LayerShape l = fcLayer("fc", 4096, 4096);
+    const auto dense = LayerSparsityProfile::uniform(1.0, 0.5);
+    CostOptions base;
+    base.sparse = false;
+    const CostModel plain(ArrayConfig::baseline16(), base);
+    const PhaseCost off =
+        plain.evaluatePhase(l, Phase::Forward, MappingKind::KN, dense, 1);
+
+    CostOptions fast = base;
+    fast.dramRefillWordsPerCycle = 1e9;
+    const PhaseCost free_refill =
+        CostModel(ArrayConfig::baseline16(), fast)
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, dense, 1);
+    EXPECT_DOUBLE_EQ(free_refill.cycles, off.cycles);
+
+    CostOptions slow = base;
+    slow.dramRefillWordsPerCycle = 0.25;
+    const PhaseCost starved =
+        CostModel(ArrayConfig::baseline16(), slow)
+            .evaluatePhase(l, Phase::Forward, MappingKind::KN, dense, 1);
+    EXPECT_GT(starved.cycles, off.cycles);
+    // The bound is the same words the dramCycles estimate prices, at
+    // the configured rate instead of the interface rate.
+    const double words =
+        starved.dramCycles *
+        ArrayConfig::baseline16().dramWordsPerCycle();
+    EXPECT_DOUBLE_EQ(starved.cycles, words / 0.25);
+}
+
 TEST(CostModel, PhaseCostAccumulates)
 {
     PhaseCost a;

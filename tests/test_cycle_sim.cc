@@ -112,6 +112,50 @@ TEST(CycleSim, DrainAddedAfterCompute)
     EXPECT_EQ(r.cycles - r.computeCycles, (4 * 50) / 4);
 }
 
+TEST(CycleSimDeathTest, RejectsNonPositiveUnicastBandwidth)
+{
+    const WaveSpec w = uniformWave(1, 1, 1, 1, 1);
+    SimConfig bad;
+    bad.unicastWordsPerCycle = 0;
+    EXPECT_DEATH(simulateWave(w, bad), "unicastWordsPerCycle");
+}
+
+TEST(CycleSimDeathTest, RejectsNonPositiveGlbBanks)
+{
+    const WaveSpec w = uniformWave(1, 1, 1, 1, 1);
+    SimConfig bad;
+    bad.glbBanks = -4;
+    EXPECT_DEATH(simulateWave(w, bad), "glbBanks must be positive");
+}
+
+TEST(CycleSimDeathTest, RejectsNonPositiveGlbBankPorts)
+{
+    const WaveSpec w = uniformWave(1, 1, 1, 1, 1);
+    SimConfig bad;
+    bad.glbBankPortsPerCycle = 0;
+    EXPECT_DEATH(simulateWave(w, bad), "glbBankPortsPerCycle");
+}
+
+TEST(CycleSimDeathTest, RejectsNonPositiveMaxCycles)
+{
+    const WaveSpec w = uniformWave(1, 1, 1, 1, 1);
+    SimConfig bad;
+    bad.maxCycles = 0;
+    EXPECT_DEATH(simulateWave(w, bad), "maxCycles");
+}
+
+TEST(CycleSim, UnboundedFifoAndRefillOffAreValidConfigs)
+{
+    // peFifoDepth <= 0 (unbounded queues) and dramWordsPerCycle <= 0
+    // (refill front end off) are meaningful settings, not errors.
+    const WaveSpec w = uniformWave(1, 1, 1, 1, 1);
+    SimConfig cfg;
+    cfg.peFifoDepth = 0;
+    cfg.dramWordsPerCycle = 0.0;
+    const SimResult r = simulateWave(w, cfg);
+    EXPECT_EQ(r.macsRetired, 1);
+}
+
 TEST(CycleSim, ChannelMapping)
 {
     EXPECT_EQ(channelFor(arch::FlowClass::MulticastRows),
@@ -315,6 +359,128 @@ TEST(CycleSim, FifoBackpressureThrottlesDeliveryWithoutSlowdown)
     EXPECT_EQ(r_shallow.macsRetired, r_unbounded.macsRetired);
 }
 
+/** Serial-mode accounting identity (no overlap, no refill). */
+void
+expectSerialIdentity(const SimResult &r)
+{
+    EXPECT_EQ(r.overlappedDrainCycles, 0);
+    EXPECT_EQ(r.dramStallCycles, 0);
+    EXPECT_EQ(r.cycles,
+              r.computeCycles + r.drainCycles + r.glbConflictCycles);
+}
+
+/** Full accounting contract (holds in every mode). */
+void
+expectCycleContract(const SimResult &r)
+{
+    EXPECT_EQ(r.cycles, r.computeCycles + r.drainCycles +
+                            r.glbConflictCycles -
+                            r.overlappedDrainCycles + r.dramStallCycles);
+    EXPECT_GE(r.overlappedDrainCycles, 0);
+    EXPECT_LE(r.overlappedDrainCycles,
+              r.drainCycles + r.glbConflictCycles);
+    EXPECT_GE(r.dramStallCycles, 0);
+    EXPECT_LE(r.dramStallCycles, r.dramRefillCycles);
+}
+
+TEST(CycleSim, DoubleBufferTwoWaveOverlapHandComputed)
+{
+    // One 1x1-PE wave: 2 broadcast operand words unlock 10 MACs (10
+    // compute cycles, 2 GLB reads), then 20 psums drain over the
+    // 1-word/cycle broadcast output channel (20 drain cycles). Two of
+    // them serially: 2 x (10 + 20) = 60 cycles.
+    WaveSpec w = uniformWave(1, 1, 10, 1, 1);
+    w.channelA = Channel::Broadcast;
+    w.channelB = Channel::Broadcast;
+    w.channelOut = Channel::Broadcast;
+    w.tiles[0].psumWords = 20;
+    const std::vector<WaveSpec> seq = {w, w};
+
+    SimConfig cfg;   // 64 banks x 1 port: bank bandwidth 64 words/cycle
+    const SimResult serial = simulateWaveSequence(seq, cfg);
+    EXPECT_EQ(serial.computeCycles, 20);
+    EXPECT_EQ(serial.drainCycles, 40);
+    EXPECT_EQ(serial.cycles, 60);
+    expectSerialIdentity(serial);
+
+    // Double-buffered: wave 1's 20 staged words vanish into wave 2's
+    // spare GLB write bandwidth (64 x 10 - 2 = 638 words spare), saving
+    // all 20 serial drain cycles; wave 2's 20 words flush at the full
+    // 64-words/cycle bank bandwidth in ceil(20/64) = 1 cycle, saving
+    // 19 of 20. Total: 20 compute + 1 flush = 21 cycles, 39 overlapped.
+    cfg.doubleBufferOutputs = true;
+    const SimResult db = simulateWaveSequence(seq, cfg);
+    EXPECT_EQ(db.cycles, 21);
+    EXPECT_EQ(db.overlappedDrainCycles, 39);
+    EXPECT_EQ(db.drainCycles, serial.drainCycles);
+    expectCycleContract(db);
+}
+
+TEST(CycleSim, DoubleBufferNeverSlowerAndTrafficInvariant)
+{
+    // On every wave sequence and every (even oversubscribed) GLB
+    // geometry: double-buffered total cycles <= serial, the accounting
+    // contract holds, and the per-bank read/write traffic is bitwise
+    // identical — the second buffer re-times the drain, it never
+    // re-routes it.
+    WaveSpec heavy_drain = uniformWave(8, 8, 10, 1, 1);
+    for (auto &t : heavy_drain.tiles)
+        t.psumWords = 40;
+    WaveSpec unicast_out = uniformWave(4, 4, 50, 5, 50);
+    unicast_out.channelB = Channel::UnicastNet;
+    WaveSpec compute_heavy = uniformWave(8, 8, 500, 10, 10);
+    const std::vector<std::vector<WaveSpec>> sequences = {
+        {heavy_drain, heavy_drain, heavy_drain},
+        {compute_heavy, heavy_drain},
+        {heavy_drain, compute_heavy, unicast_out, heavy_drain},
+        {unicast_out},
+        {},
+    };
+
+    std::vector<SimConfig> cfgs(3);
+    cfgs[1].glbBanks = 4;   // bank bandwidth below every output channel
+    cfgs[2].glbBanks = 16;
+    cfgs[2].unicastWordsPerCycle = 32;
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        SimConfig serial_cfg = cfgs[c];
+        SimConfig db_cfg = cfgs[c];
+        db_cfg.doubleBufferOutputs = true;
+        for (size_t s = 0; s < sequences.size(); ++s) {
+            const SimResult a =
+                simulateWaveSequence(sequences[s], serial_cfg);
+            const SimResult b =
+                simulateWaveSequence(sequences[s], db_cfg);
+            expectSerialIdentity(a);
+            expectCycleContract(b);
+            EXPECT_LE(b.cycles, a.cycles) << "cfg " << c << " seq " << s;
+            EXPECT_EQ(a.glbBankReads, b.glbBankReads)
+                << "cfg " << c << " seq " << s;
+            EXPECT_EQ(a.glbBankWrites, b.glbBankWrites)
+                << "cfg " << c << " seq " << s;
+            EXPECT_EQ(a.computeCycles, b.computeCycles);
+            EXPECT_EQ(a.drainCycles, b.drainCycles);
+            EXPECT_EQ(a.macsRetired, b.macsRetired);
+        }
+    }
+}
+
+TEST(CycleSim, DoubleBufferEqualsSerialWhenDrainIsFree)
+{
+    // With nothing to drain the second buffer has nothing to hide:
+    // both modes must clock identically.
+    WaveSpec w = uniformWave(4, 4, 100, 10, 10);
+    for (auto &t : w.tiles)
+        t.psumWords = 0;
+    const std::vector<WaveSpec> seq = {w, w, w};
+    SimConfig db_cfg;
+    db_cfg.doubleBufferOutputs = true;
+    const SimResult serial = simulateWaveSequence(seq, SimConfig{});
+    const SimResult db = simulateWaveSequence(seq, db_cfg);
+    EXPECT_EQ(serial.cycles, db.cycles);
+    EXPECT_EQ(db.overlappedDrainCycles, 0);
+    EXPECT_EQ(serial.drainCycles, 0);
+}
+
 TEST(CycleSim, ZeroDensitySlotsStayIdle)
 {
     // A fully pruned layer maps to zero-demand slots everywhere: no
@@ -373,11 +539,25 @@ buildTraceNet(nn::Network &net, uint64_t seed)
     }
 }
 
-/** Train 2 epochs and return the trace plus each epoch's co-run. */
+/** The non-default co-run config the trace tests exercise: drain
+    double-buffering plus the DRAM refill front end at the paper's
+    2 words/cycle. */
+SimConfig
+dbRefillConfig()
+{
+    SimConfig cfg;
+    cfg.doubleBufferOutputs = true;
+    cfg.dramWordsPerCycle = 2.0;
+    return cfg;
+}
+
+/** Train 2 epochs and return the trace plus each epoch's co-runs
+    (default serial config and the db+refill config). */
 struct TracePipeline
 {
     arch::WorkloadTrace trace;
     std::vector<TraceSimResult> sims;
+    std::vector<TraceSimResult> dbSims;
 };
 
 TracePipeline
@@ -410,8 +590,22 @@ runTraceSimPipeline()
         TraceSimResult csim;
         acc.evaluateTrace(out.trace, e, nullptr, &csim);
         out.sims.push_back(csim);
+        TraceSimResult dbsim;
+        acc.evaluateTrace(out.trace, e, nullptr, &dbsim,
+                          dbRefillConfig());
+        out.dbSims.push_back(dbsim);
     }
     return out;
+}
+
+/** One trained pipeline shared by the single-configuration trace
+    tests (the thread sweep re-trains under each pool size on
+    purpose). */
+const TracePipeline &
+sharedPipeline()
+{
+    static const TracePipeline p = runTraceSimPipeline();
+    return p;
 }
 
 TEST(TraceSim, EpochCoRunAgreesWithAnalyticModel)
@@ -420,16 +614,19 @@ TEST(TraceSim, EpochCoRunAgreesWithAnalyticModel)
     // epoch from the measured masks/activations, and its total cycles
     // must stay within a bounded band of the analytic compute latency
     // (the simulator adds drain, fill, and contention on top — the
-    // band is the fidelity bound BENCH_cosim.json v4 records).
-    const TracePipeline p = runTraceSimPipeline();
+    // band is the fidelity bound BENCH_cosim.json v5 records).
+    const TracePipeline &p = sharedPipeline();
     ASSERT_EQ(p.trace.epochCount(), 2u);
     for (size_t e = 0; e < p.sims.size(); ++e) {
         const TraceSimResult &cs = p.sims[e];
         EXPECT_GT(cs.total.macsRetired, 0) << e;
         EXPECT_GT(cs.analyticComputeCycles, 0.0) << e;
+        // With refill off the ratio reference is the compute latency.
+        EXPECT_EQ(cs.analyticRefCycles, cs.analyticComputeCycles) << e;
         EXPECT_GT(cs.analyticCycleRatio, 0.6) << e;
         EXPECT_LT(cs.analyticCycleRatio, 3.6) << e;
-        // Additive cycle decomposition holds for the accumulated
+        // In serial mode with refill off the historical additive
+        // cycle decomposition holds exactly for the accumulated
         // epoch, and phases sum to the total.
         EXPECT_EQ(cs.total.cycles,
                   cs.total.computeCycles + cs.total.drainCycles +
@@ -455,6 +652,82 @@ TEST(TraceSim, EpochCoRunAgreesWithAnalyticModel)
     EXPECT_NE(p.sims[0].total.macsRetired, p.sims[1].total.macsRetired);
 }
 
+TEST(TraceSim, DoubleBufferAndRefillEpochInvariants)
+{
+    // The db+refill co-run of every traced epoch obeys the full
+    // accounting contract, is never slower than the serial co-run on
+    // compute+drain terms, keeps the per-bank traffic image identical,
+    // and charges a genuinely positive refill demand from the measured
+    // bytes. The refill-aware analytic reference also grows, keeping
+    // the ratio meaningful.
+    const TracePipeline &p = sharedPipeline();
+    ASSERT_EQ(p.sims.size(), p.dbSims.size());
+    for (size_t e = 0; e < p.sims.size(); ++e) {
+        const TraceSimResult &serial = p.sims[e];
+        const TraceSimResult &db = p.dbSims[e];
+        expectCycleContract(db.total);
+        EXPECT_GT(db.total.overlappedDrainCycles, 0) << e;
+        EXPECT_GT(db.total.dramRefillCycles, 0) << e;
+        // Same waves, same compute and drain demand, same traffic —
+        // only the clocking differs.
+        EXPECT_EQ(db.total.computeCycles, serial.total.computeCycles)
+            << e;
+        EXPECT_EQ(db.total.drainCycles, serial.total.drainCycles) << e;
+        EXPECT_EQ(db.total.macsRetired, serial.total.macsRetired) << e;
+        EXPECT_EQ(db.total.glbBankReads, serial.total.glbBankReads)
+            << e;
+        EXPECT_EQ(db.total.glbBankWrites, serial.total.glbBankWrites)
+            << e;
+        // Net of the refill stall, double-buffering never loses to
+        // serial drain.
+        EXPECT_LE(db.total.cycles - db.total.dramStallCycles,
+                  serial.total.cycles)
+            << e;
+        // With overlap on, cross-boundary hidden cycles are
+        // attributed to the total only: phases bound it from above.
+        EXPECT_LE(db.total.cycles - db.total.dramStallCycles,
+                  db.fw.cycles + db.bw.cycles + db.wu.cycles)
+            << e;
+        // Refill makes the analytic reference a max(compute, refill)
+        // bound: at least the compute-only reference.
+        EXPECT_GE(db.analyticRefCycles, db.analyticComputeCycles) << e;
+        EXPECT_GT(db.analyticCycleRatio, 0.0) << e;
+    }
+}
+
+TEST(TraceSim, PrebuiltPlanMatchesDirectEpochSimulation)
+{
+    // buildEpochWavePlan + simulateEpochPlan is the sweep-facing split
+    // of simulateTraceEpoch: under any config (here db+refill) the two
+    // paths must agree bitwise, or cached-geometry sweeps would drift
+    // from the co-run they claim to re-clock.
+    const TracePipeline &p = sharedPipeline();
+    const arch::Accelerator acc = arch::Accelerator::procrustes();
+    const arch::EpochTrace &et = p.trace.epoch(0);
+    const EpochWavePlan plan = buildEpochWavePlan(
+        et, acc.mapping(), acc.costModel().config(),
+        acc.costModel().options().balance);
+    EXPECT_EQ(plan.order.size(), 3 * et.layers.size());
+    for (const SimConfig &cfg :
+         {SimConfig{}, dbRefillConfig()}) {
+        const TraceSimResult direct = simulateTraceEpoch(
+            et, acc.mapping(), acc.costModel().config(), cfg,
+            acc.costModel().options().balance);
+        const TraceSimResult replay = simulateEpochPlan(plan, cfg);
+        EXPECT_EQ(direct.total.cycles, replay.total.cycles);
+        EXPECT_EQ(direct.total.overlappedDrainCycles,
+                  replay.total.overlappedDrainCycles);
+        EXPECT_EQ(direct.total.dramStallCycles,
+                  replay.total.dramStallCycles);
+        EXPECT_EQ(direct.fw.cycles, replay.fw.cycles);
+        EXPECT_EQ(direct.bw.cycles, replay.bw.cycles);
+        EXPECT_EQ(direct.wu.cycles, replay.wu.cycles);
+        EXPECT_EQ(direct.total.glbBankReads, replay.total.glbBankReads);
+        EXPECT_EQ(direct.total.glbBankWrites,
+                  replay.total.glbBankWrites);
+    }
+}
+
 /** Restores the process-wide pool to its env-resolved size on exit. */
 struct GlobalPoolGuard
 {
@@ -470,10 +743,14 @@ expectSimResultsIdentical(const SimResult &a, const SimResult &b,
     EXPECT_EQ(a.stallCycles, b.stallCycles) << threads;
     EXPECT_EQ(a.macsRetired, b.macsRetired) << threads;
     EXPECT_EQ(a.drainCycles, b.drainCycles) << threads;
+    EXPECT_EQ(a.overlappedDrainCycles, b.overlappedDrainCycles)
+        << threads;
     EXPECT_EQ(a.glbConflictCycles, b.glbConflictCycles) << threads;
     EXPECT_EQ(a.glbConflicts, b.glbConflicts) << threads;
     EXPECT_EQ(a.fifoBackpressureCycles, b.fifoBackpressureCycles)
         << threads;
+    EXPECT_EQ(a.dramRefillCycles, b.dramRefillCycles) << threads;
+    EXPECT_EQ(a.dramStallCycles, b.dramStallCycles) << threads;
     EXPECT_EQ(a.glbBankReads, b.glbBankReads) << threads;
     EXPECT_EQ(a.glbBankWrites, b.glbBankWrites) << threads;
 }
@@ -493,6 +770,7 @@ TEST(TraceSim, ThreadSweepBitwiseIdenticalAcrossThreadCounts)
         ASSERT_EQ(ThreadPool::global().numThreads(), threads);
         const TracePipeline got = runTraceSimPipeline();
         ASSERT_EQ(got.sims.size(), ref.sims.size());
+        ASSERT_EQ(got.dbSims.size(), ref.dbSims.size());
         for (size_t e = 0; e < ref.sims.size(); ++e) {
             expectSimResultsIdentical(got.sims[e].total,
                                       ref.sims[e].total, threads);
@@ -502,11 +780,21 @@ TEST(TraceSim, ThreadSweepBitwiseIdenticalAcrossThreadCounts)
                                       threads);
             expectSimResultsIdentical(got.sims[e].wu, ref.sims[e].wu,
                                       threads);
+            // The overlap chain and refill accounting must be just as
+            // thread-count-invariant as the serial path.
+            expectSimResultsIdentical(got.dbSims[e].total,
+                                      ref.dbSims[e].total, threads);
             EXPECT_EQ(got.sims[e].analyticComputeCycles,
                       ref.sims[e].analyticComputeCycles)
                 << threads;
             EXPECT_EQ(got.sims[e].analyticCycleRatio,
                       ref.sims[e].analyticCycleRatio)
+                << threads;
+            EXPECT_EQ(got.dbSims[e].analyticRefCycles,
+                      ref.dbSims[e].analyticRefCycles)
+                << threads;
+            EXPECT_EQ(got.dbSims[e].analyticCycleRatio,
+                      ref.dbSims[e].analyticCycleRatio)
                 << threads;
         }
     }

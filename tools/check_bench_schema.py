@@ -3,14 +3,16 @@
 
 The bench JSON is hand-printed with fprintf, so a malformed escape or
 a missing field ships silently unless something parses it back. This
-checker validates that BENCH_kernels.json / BENCH_cosim.json are
-well-formed JSON and carry the schema keys EXPERIMENTS.md documents
-(including the host block that makes single-core numbers
-interpretable). Stdlib only — no third-party dependencies.
+checker validates that BENCH_kernels.json / BENCH_cosim.json /
+BENCH_dataflow.json are well-formed JSON and carry the schema keys
+EXPERIMENTS.md documents (including the host block that makes
+single-core numbers interpretable). Stdlib only — no third-party
+dependencies.
 
 Usage:
     check_bench_schema.py kernels BENCH_kernels.json
     check_bench_schema.py cosim BENCH_cosim.json
+    check_bench_schema.py dataflow BENCH_dataflow.json
 """
 
 import json
@@ -66,6 +68,8 @@ COSIM_CYCLE_SIM_KEYS = {
     "glb_conflict_cycles", "glb_conflicts", "glb_reads", "glb_writes",
     "fifo_backpressure_cycles", "macs_retired",
     "analytic_compute_cycles", "analytic_cycle_ratio",
+    "db_cycles", "db_overlapped_drain_cycles",
+    "db_analytic_cycle_ratio",
 }
 # Sane agreement band for simulated cycles over analytic compute
 # latency: the simulator adds drain, fill, contention, and per-tile
@@ -73,9 +77,28 @@ COSIM_CYCLE_SIM_KEYS = {
 # outside this band one of the two models is broken.
 COSIM_RATIO_MIN = 0.25
 COSIM_RATIO_MAX = 4.0
-# v4: per-epoch cycle_sim block — the cycle-level co-run's stall
-# breakdown, banked-GLB conflict counters, and analytic_cycle_ratio.
-COSIM_VERSION = 4
+# v5: adds the double-buffered-drain co-run of each epoch (db_cycles,
+# db_overlapped_drain_cycles, db_analytic_cycle_ratio) next to the v4
+# serial cycle_sim block.
+COSIM_VERSION = 5
+
+DATAFLOW_TOP_KEYS = {"version", "mode", "host", "config", "analytic",
+                     "grid", "points", "default_point"}
+DATAFLOW_CONFIG_KEYS = {"epochs", "batch", "target_sparsity",
+                        "epoch_index", "weight_density", "iact_density"}
+DATAFLOW_ANALYTIC_KEYS = {"compute_cycles", "refill_ref_cycles",
+                          "dram_words_per_cycle"}
+DATAFLOW_GRID_KEYS = {"glb_banks", "pe_fifo_depth",
+                      "unicast_words_per_cycle", "drain",
+                      "dram_words_per_cycle"}
+DATAFLOW_POINT_KEYS = {
+    "glb_banks", "pe_fifo_depth", "unicast_words_per_cycle", "drain",
+    "dram_words_per_cycle", "cycles", "compute_cycles", "drain_cycles",
+    "overlapped_drain_cycles", "glb_conflict_cycles", "glb_conflicts",
+    "fifo_backpressure_cycles", "dram_refill_cycles",
+    "dram_stall_cycles", "macs_retired", "analytic_cycle_ratio",
+}
+DATAFLOW_VERSION = 1
 
 
 def fail(msg):
@@ -188,9 +211,10 @@ def check_cosim(doc):
                      f"is negative")
         if cs["cycles"] == 0 or cs["macs_retired"] == 0:
             fail(f"epochs[{i}].cycle_sim simulated no work")
-        # Total cycles decompose additively: compute + drain + GLB
-        # bank-conflict stalls. A mismatch means the simulator's
-        # accounting broke, not just drifted.
+        # The serial co-run's cycles decompose additively: compute +
+        # drain + GLB bank-conflict stalls (the general contract's
+        # overlap and refill terms are zero here). A mismatch means
+        # the simulator's accounting broke, not just drifted.
         expect = (cs["compute_cycles"] + cs["drain_cycles"] +
                   cs["glb_conflict_cycles"])
         if cs["cycles"] != expect:
@@ -205,10 +229,99 @@ def check_cosim(doc):
             fail(f"epochs[{i}].cycle_sim.analytic_cycle_ratio = "
                  f"{ratio} outside sane band "
                  f"[{COSIM_RATIO_MIN}, {COSIM_RATIO_MAX}]")
+        # The double-buffered co-run re-times the same drain traffic:
+        # it saves exactly the overlapped cycles and can never be
+        # slower than the serial run it shadows.
+        if cs["db_cycles"] <= 0:
+            fail(f"epochs[{i}].cycle_sim.db_cycles must be positive")
+        if cs["db_overlapped_drain_cycles"] < 0:
+            fail(f"epochs[{i}].cycle_sim.db_overlapped_drain_cycles "
+                 f"is negative")
+        if cs["db_cycles"] != cs["cycles"] - cs["db_overlapped_drain_cycles"]:
+            fail(f"epochs[{i}].cycle_sim.db_cycles = {cs['db_cycles']} "
+                 f"but serial cycles - overlapped = "
+                 f"{cs['cycles'] - cs['db_overlapped_drain_cycles']}")
+        db_ratio = cs["db_analytic_cycle_ratio"]
+        if not 0.0 < db_ratio <= ratio:
+            fail(f"epochs[{i}].cycle_sim.db_analytic_cycle_ratio = "
+                 f"{db_ratio} outside (0, serial ratio {ratio}]")
+
+
+def check_dataflow(doc):
+    require_keys(doc, DATAFLOW_TOP_KEYS, "BENCH_dataflow.json")
+    check_version(doc, DATAFLOW_VERSION, "BENCH_dataflow.json")
+    check_host(doc, "BENCH_dataflow.json")
+    require_keys(doc["config"], DATAFLOW_CONFIG_KEYS, "config")
+    require_keys(doc["analytic"], DATAFLOW_ANALYTIC_KEYS, "analytic")
+    if doc["analytic"]["compute_cycles"] <= 0:
+        fail("analytic.compute_cycles must be positive")
+    grid = doc["grid"]
+    require_keys(grid, DATAFLOW_GRID_KEYS, "grid")
+    expected = set()
+    for banks in grid["glb_banks"]:
+        for fifo in grid["pe_fifo_depth"]:
+            for uni in grid["unicast_words_per_cycle"]:
+                for drain in grid["drain"]:
+                    for dram in grid["dram_words_per_cycle"]:
+                        expected.add((banks, fifo, uni, drain, dram))
+    points = doc["points"]
+    if not isinstance(points, list) or not points:
+        fail("points must be a non-empty array")
+    seen = {}
+    for i, pt in enumerate(points):
+        require_keys(pt, DATAFLOW_POINT_KEYS, f"points[{i}]")
+        key = (pt["glb_banks"], pt["pe_fifo_depth"],
+               pt["unicast_words_per_cycle"], pt["drain"],
+               pt["dram_words_per_cycle"])
+        if key not in expected:
+            fail(f"points[{i}] {key} is not a grid combination")
+        if key in seen:
+            fail(f"points[{i}] duplicates grid combination {key}")
+        seen[key] = pt
+        if pt["cycles"] <= 0 or pt["macs_retired"] <= 0:
+            fail(f"points[{i}] simulated no work")
+        for k in DATAFLOW_POINT_KEYS - {"drain"}:
+            if pt[k] < 0:
+                fail(f"points[{i}].{k} = {pt[k]} is negative")
+        # The cycle accounting contract, point by point.
+        expect = (pt["compute_cycles"] + pt["drain_cycles"] +
+                  pt["glb_conflict_cycles"] -
+                  pt["overlapped_drain_cycles"] +
+                  pt["dram_stall_cycles"])
+        if pt["cycles"] != expect:
+            fail(f"points[{i}].cycles = {pt['cycles']} but "
+                 f"compute+drain+conflict-overlap+stall = {expect}")
+        if pt["drain"] == "serial" and pt["overlapped_drain_cycles"]:
+            fail(f"points[{i}] is serial but overlapped "
+                 f"{pt['overlapped_drain_cycles']} cycles")
+        if (pt["dram_words_per_cycle"] == 0.0 and
+                (pt["dram_refill_cycles"] or pt["dram_stall_cycles"])):
+            fail(f"points[{i}] has refill off but charges refill")
+    missing = expected - seen.keys()
+    if missing:
+        fail(f"grid combinations missing from points: "
+             f"{sorted(missing)[:4]} (+{max(0, len(missing) - 4)} more)")
+    # Double-buffering re-times the serial drain; on the same knobs it
+    # must never clock slower.
+    for key, pt in seen.items():
+        if key[3] != "double_buffered":
+            continue
+        other = seen[(key[0], key[1], key[2], "serial", key[4])]
+        if pt["cycles"] > other["cycles"]:
+            fail(f"double_buffered point {key} is slower than its "
+                 f"serial twin ({pt['cycles']} > {other['cycles']})")
+    dflt = doc["default_point"]
+    for k in ("serial_ratio", "double_buffered_ratio"):
+        if k not in dflt or dflt[k] <= 0:
+            fail(f"default_point.{k} missing or non-positive")
+    if dflt["double_buffered_ratio"] > dflt["serial_ratio"]:
+        fail("default point: double-buffered ratio exceeds serial")
 
 
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("kernels", "cosim"):
+    checks = {"kernels": check_kernels, "cosim": check_cosim,
+              "dataflow": check_dataflow}
+    if len(sys.argv) != 3 or sys.argv[1] not in checks:
         print(__doc__, file=sys.stderr)
         return 2
     try:
@@ -216,10 +329,7 @@ def main():
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {sys.argv[2]}: {e}")
-    if sys.argv[1] == "kernels":
-        check_kernels(doc)
-    else:
-        check_cosim(doc)
+    checks[sys.argv[1]](doc)
     print(f"schema check OK: {sys.argv[2]}")
     return 0
 
