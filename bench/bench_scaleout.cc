@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Scale-out trajectory bench: trains the spiral-task MLP with gradual
+ * magnitude pruning on the CSB sparse backend under the data-parallel
+ * shard engine (src/scaleout) for shard counts {1, 2, 4, 8} at a
+ * matched global batch and a fixed grad-slice size, so every shard
+ * count follows the bitwise-identical trajectory. Each run records the
+ * accuracy curve, the measured gradient-exchange wire traffic
+ * (mask-live packed bytes vs the dense twin, reduce-to-root gather +
+ * broadcast message counts), and the modeled exchange cycles from the
+ * cost model's shard-interconnect term
+ * (CostOptions::interconnectWordsPerCycle) fed by the measured bytes
+ * through a WorkloadTrace.
+ *
+ * Two reference blocks anchor the grid: `non_sharded` is a plain
+ * nn::trainNetwork run of the identical model/optimizer/data, and
+ * `shard1_twin` is the engine at shards == 1 with sliceSamples ==
+ * batchSize — the configuration the engine guarantees is bitwise
+ * identical to the plain trainer (test_scaleout.cc enforces it; the
+ * schema checker cross-checks the emitted trajectories).
+ *
+ * Emits BENCH_scaleout.json v1 (schema documented in EXPERIMENTS.md,
+ * checked by tools/check_bench_schema.py scaleout) with host
+ * information so single-core results are interpretable. Trajectory
+ * floats are printed with %.17g so the JSON preserves bitwise equality
+ * across runs for the checker's exact comparisons.
+ *
+ * Usage: bench_scaleout [--smoke] [--out PATH]
+ *   --smoke   3 epochs on a smaller net (CI wiring check)
+ *   --out     output JSON path (default BENCH_scaleout.json)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "arch/workload_trace.h"
+#include "bench_util.h"
+#include "nn/linear.h"
+#include "scaleout/shard_engine.h"
+#include "sparse/gradual_pruning.h"
+#include "train_util.h"
+
+using namespace procrustes;
+
+namespace {
+
+/** Per-epoch row shared by the grid runs and the reference blocks. */
+struct EpochRow
+{
+    double trainLoss = 0.0;
+    double valAccuracy = 0.0;
+    double weightDensity = 1.0;
+    int64_t exchangeCompressedBytes = 0;
+    int64_t exchangeDenseBytes = 0;
+    int64_t exchangeMessages = 0;
+    double modeledExchangeCycles = 0.0;
+    double modeledWuCycles = 0.0;
+    double modeledTotalCycles = 0.0;
+};
+
+void
+emitEpochs(FILE *f, const std::vector<EpochRow> &rows, bool with_exchange)
+{
+    std::fprintf(f, "    \"epochs\": [\n");
+    for (size_t e = 0; e < rows.size(); ++e) {
+        const EpochRow &r = rows[e];
+        std::fprintf(f,
+                     "      {\"epoch\": %zu, \"train_loss\": %.17g, "
+                     "\"val_accuracy\": %.17g, \"weight_density\": %.17g",
+                     e, r.trainLoss, r.valAccuracy, r.weightDensity);
+        if (with_exchange) {
+            std::fprintf(
+                f,
+                ",\n       \"exchange_compressed_bytes\": %lld, "
+                "\"exchange_dense_bytes\": %lld, "
+                "\"exchange_messages\": %lld,\n"
+                "       \"modeled_exchange_cycles\": %.6g, "
+                "\"modeled_wu_cycles\": %.6g, "
+                "\"modeled_total_cycles\": %.6g",
+                static_cast<long long>(r.exchangeCompressedBytes),
+                static_cast<long long>(r.exchangeDenseBytes),
+                static_cast<long long>(r.exchangeMessages),
+                r.modeledExchangeCycles, r.modeledWuCycles,
+                r.modeledTotalCycles);
+        }
+        std::fprintf(f, "}%s\n", e + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_scaleout.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    bench::banner("Scale-out: data-parallel shards with sparse "
+                  "gradient exchange",
+                  "beyond Figure 20 (PE scaling) — M-way data "
+                  "parallelism with mask-live allreduce traffic");
+
+    const int64_t hidden = smoke ? 16 : 48;
+    const int64_t epochs = smoke ? 3 : 10;
+    const int64_t global_batch = 32;
+    const int64_t slice_samples = 4;
+    const std::vector<int> shard_counts = {1, 2, 4, 8};
+    const double interconnect_wpc = 16.0;
+
+    const auto build = [hidden](nn::Network &net) {
+        bench::buildMlp(net, /*seed=*/11, hidden);
+        bench::useSparseBackend(net);
+    };
+    const auto make_opt = []() -> std::unique_ptr<nn::Optimizer> {
+        sparse::GradualPruningConfig pcfg;
+        pcfg.targetSparsity = 4.0;
+        pcfg.lr = 0.08f;
+        pcfg.warmupIterations = 10;
+        pcfg.pruneInterval = 5;
+        pcfg.pruneFraction = 0.25;
+        return std::make_unique<sparse::GradualMagnitudePruningOptimizer>(
+            pcfg);
+    };
+
+    const auto splits = bench::spiralSplits();
+
+    // The cost model with the shard-interconnect term priced: measured
+    // exchange bytes bound the weight-update phase at this bandwidth
+    // (overlap-aware, like the DRAM-refill bound).
+    arch::CostOptions copts;
+    copts.sparse = true;
+    copts.balance = arch::BalanceMode::HalfTile;
+    copts.interconnectWordsPerCycle = interconnect_wpc;
+    const arch::Accelerator acc(arch::ArrayConfig::baseline16(), copts,
+                                arch::MappingKind::KN);
+
+    // ---- reference block 1: plain trainNetwork -----------------------
+    std::vector<EpochRow> plain_rows;
+    {
+        nn::Network net;
+        build(net);
+        auto opt = make_opt();
+        nn::TrainConfig tc;
+        tc.epochs = epochs;
+        tc.batchSize = global_batch;
+        const auto hist = trainNetwork(net, *opt, splits.first,
+                                       splits.second, tc);
+        for (const nn::EpochStats &s : hist) {
+            EpochRow r;
+            r.trainLoss = s.trainLoss;
+            r.valAccuracy = s.valAccuracy;
+            r.weightDensity = 1.0 - s.weightSparsity;
+            plain_rows.push_back(r);
+        }
+    }
+
+    // ---- reference block 2: engine twin (shards=1, slice==batch) -----
+    std::vector<EpochRow> twin_rows;
+    {
+        scaleout::ShardTrainConfig cfg;
+        cfg.shards = 1;
+        cfg.epochs = epochs;
+        cfg.batchSize = global_batch;
+        cfg.sliceSamples = global_batch;
+        const auto res = scaleout::trainSharded(
+            build, make_opt, splits.first, splits.second, cfg);
+        for (const scaleout::ShardEpochStats &s : res.history) {
+            EpochRow r;
+            r.trainLoss = s.stats.trainLoss;
+            r.valAccuracy = s.stats.valAccuracy;
+            r.weightDensity = 1.0 - s.stats.weightSparsity;
+            twin_rows.push_back(r);
+        }
+    }
+
+    // ---- the shard grid ---------------------------------------------
+    std::printf("shards | epoch | val acc | w-dens | exch KB (comp/dense)"
+                " | msgs | exch cyc | wu cyc\n");
+    std::vector<std::vector<EpochRow>> grid;
+    for (const int shards : shard_counts) {
+        scaleout::ShardTrainConfig cfg;
+        cfg.shards = shards;
+        cfg.epochs = epochs;
+        cfg.batchSize = global_batch;
+        cfg.sliceSamples = slice_samples;
+        arch::WorkloadTrace trace;
+        const auto res = scaleout::trainSharded(
+            build, make_opt, splits.first, splits.second, cfg,
+            trace.observer());
+        std::vector<EpochRow> rows;
+        for (size_t e = 0; e < res.history.size(); ++e) {
+            const scaleout::ShardEpochStats &s = res.history[e];
+            EpochRow r;
+            r.trainLoss = s.stats.trainLoss;
+            r.valAccuracy = s.stats.valAccuracy;
+            r.weightDensity = 1.0 - s.stats.weightSparsity;
+            r.exchangeCompressedBytes = s.exchange.compressedBytes;
+            r.exchangeDenseBytes = s.exchange.denseBytes;
+            r.exchangeMessages = s.exchange.messages;
+            const arch::NetworkCost nc = acc.evaluateTrace(trace, e);
+            r.modeledExchangeCycles = nc.wu.interconnectCycles;
+            r.modeledWuCycles = nc.wu.cycles;
+            r.modeledTotalCycles = nc.totalCycles();
+            rows.push_back(r);
+            std::printf("%6d | %5zu |   %.3f |  %.3f | %9.1f/%-9.1f "
+                        "| %4lld | %8.1f | %8.1f\n",
+                        shards, e, r.valAccuracy, r.weightDensity,
+                        r.exchangeCompressedBytes / 1024.0,
+                        r.exchangeDenseBytes / 1024.0,
+                        static_cast<long long>(r.exchangeMessages),
+                        r.modeledExchangeCycles, r.modeledWuCycles);
+        }
+        grid.push_back(std::move(rows));
+    }
+
+    // ---- JSON -------------------------------------------------------
+    FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    bench::emitHostJson(f);
+    std::fprintf(f, "  \"config\": {\"epochs\": %lld, "
+                 "\"global_batch\": %lld, \"slice_samples\": %lld, "
+                 "\"hidden\": %lld, \"target_sparsity\": 4.0, "
+                 "\"interconnect_words_per_cycle\": %.1f, "
+                 "\"shard_counts\": [1, 2, 4, 8]},\n",
+                 static_cast<long long>(epochs),
+                 static_cast<long long>(global_batch),
+                 static_cast<long long>(slice_samples),
+                 static_cast<long long>(hidden), interconnect_wpc);
+    std::fprintf(f, "  \"non_sharded\": {\n");
+    emitEpochs(f, plain_rows, /*with_exchange=*/false);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"shard1_twin\": {\n");
+    emitEpochs(f, twin_rows, /*with_exchange=*/false);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (size_t i = 0; i < shard_counts.size(); ++i) {
+        std::fprintf(f, "   {\"shards\": %d,\n", shard_counts[i]);
+        emitEpochs(f, grid[i], /*with_exchange=*/true);
+        std::fprintf(f, "   }%s\n",
+                     i + 1 < shard_counts.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

@@ -101,6 +101,17 @@ Accelerator::evaluateTrace(const WorkloadTrace &trace, size_t epoch_idx,
             bw.macs = l.bwDataMacsPerStep();
             wu.macs = l.bwWeightMacsPerStep();
         }
+        // Gradient-exchange traffic (scale-out runs only): the trace
+        // sums wire bytes over the epoch, the model prices one step.
+        // A sparsity-exploiting machine ships the mask-live packed
+        // image; the dense baseline ships the dense twin.
+        if (l.steps > 0) {
+            const int64_t epoch_bytes =
+                model_.options().sparse ? l.exchangeCompressedBytes
+                                        : l.exchangeDenseBytes;
+            wu.exchangeBytes = static_cast<double>(epoch_bytes) /
+                               static_cast<double>(l.steps);
+        }
         const PhaseCost pc_fw = model_.evaluatePhase(
             net.layers[i], Phase::Forward, mapping_, profiles[i],
             e.batchSize, fw);

@@ -56,6 +56,7 @@ PhaseCost::operator+=(const PhaseCost &o)
     cycles += o.cycles;
     computeCycles += o.computeCycles;
     dramCycles += o.dramCycles;
+    interconnectCycles += o.interconnectCycles;
     macs += o.macs;
     macEnergyJ += o.macEnergyJ;
     rfEnergyJ += o.rfEnergyJ;
@@ -502,6 +503,18 @@ CostModel::evaluatePhase(const LayerShape &layer, Phase phase,
     if (opts_.dramRefillWordsPerCycle > 0.0)
         cost.cycles = std::max(cost.cycles,
                                dwords / opts_.dramRefillWordsPerCycle);
+    // Shard-interconnect bound: the allreduce of this layer's measured
+    // gradient-exchange bytes streams at interconnectWordsPerCycle,
+    // overlapped with the weight-update compute window (the exchange
+    // pipelines behind dW production); only the excess extends the
+    // phase. Words are 32-bit, matching the DRAM interface accounting.
+    if (phase == Phase::WeightUpdate &&
+        opts_.interconnectWordsPerCycle > 0.0 &&
+        measured.exchangeBytes >= 0.0) {
+        cost.interconnectCycles = (measured.exchangeBytes / 4.0) /
+                                  opts_.interconnectWordsPerCycle;
+        cost.cycles = std::max(cost.cycles, cost.interconnectCycles);
+    }
 
     cost.macEnergyJ = cost.macs * cfg_.macPj * 1e-12;
     cost.rfEnergyJ =

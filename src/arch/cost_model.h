@@ -88,6 +88,18 @@ struct CostOptions
      * Non-positive (default) disables the bound.
      */
     double dramRefillWordsPerCycle = -1.0;
+
+    /**
+     * Shard-interconnect bandwidth in 32-bit words per cycle: when
+     * positive and the trace supplies measured gradient-exchange bytes
+     * (MeasuredLayerStats::exchangeBytes, from the scale-out shard
+     * engine), the weight-update phase is additionally bounded below
+     * by streaming those bytes at this rate — the allreduce is
+     * overlapped with weight-update compute and only the excess
+     * extends the phase, mirroring the DRAM-refill modelling above.
+     * Non-positive (default) disables the term.
+     */
+    double interconnectWordsPerCycle = -1.0;
 };
 
 /**
@@ -152,6 +164,15 @@ struct MeasuredLayerStats
      * dense baseline streams; consumed by non-sparse configurations.
      */
     double denseWeightBytes = -1.0;
+
+    /**
+     * Measured cross-shard gradient-exchange wire bytes for this
+     * layer in one step (mask-live packed values under a sparse
+     * configuration, the dense twin for the dense baseline). Priced by
+     * CostOptions::interconnectWordsPerCycle in the weight-update
+     * phase; negative (default) means no exchange was measured.
+     */
+    double exchangeBytes = -1.0;
 };
 
 /** Latency and energy of one (layer, phase) evaluation. */
@@ -160,6 +181,11 @@ struct PhaseCost
     double cycles = 0.0;         //!< max(compute, DRAM-bound)
     double computeCycles = 0.0;
     double dramCycles = 0.0;
+    /** Cycles to stream measured gradient-exchange bytes over the
+        shard interconnect (weight-update phase only; zero unless
+        CostOptions::interconnectWordsPerCycle is set and the trace
+        measured an exchange). */
+    double interconnectCycles = 0.0;
     double macs = 0.0;           //!< effective (sparsity-skipped) MACs
     double macEnergyJ = 0.0;
     double rfEnergyJ = 0.0;

@@ -102,6 +102,24 @@ EpochTrace::totalDenseWeightBytes() const
     return total;
 }
 
+int64_t
+EpochTrace::totalExchangeCompressedBytes() const
+{
+    int64_t total = 0;
+    for (const LayerTrace &l : layers)
+        total += l.exchangeCompressedBytes;
+    return total;
+}
+
+int64_t
+EpochTrace::totalExchangeDenseBytes() const
+{
+    int64_t total = 0;
+    for (const LayerTrace &l : layers)
+        total += l.exchangeDenseBytes;
+    return total;
+}
+
 double
 EpochTrace::meanWeightDensity() const
 {
@@ -179,6 +197,13 @@ WorkloadTrace::observe(const nn::StepTelemetry &t)
             // describe the epoch-final compressed weight image.
             l.csbWeightBytes = r.csbWeightBytes;
             l.denseWeightBytes = r.denseWeightBytes;
+        }
+        if (r.hasExchange) {
+            // Wire traffic sums over the epoch (unlike the footprint
+            // fields above, which are snapshots): each step's
+            // allreduce actually moved these bytes.
+            l.exchangeCompressedBytes += r.exchangeCompressedBytes;
+            l.exchangeDenseBytes += r.exchangeDenseBytes;
         }
         // A single dense-executed step poisons the epoch's counts for
         // sparse-accelerator purposes, so AND across steps.

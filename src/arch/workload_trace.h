@@ -68,6 +68,14 @@ struct LayerTrace
     int64_t denseWeightBytes = 0;   //!< 4 bytes per dense position
     /**@}*/
 
+    /** @name Cross-shard gradient-exchange wire bytes, summed over the
+        epoch's steps (zero unless the scale-out shard engine drove the
+        run — see LayerStepReport::hasExchange). */
+    /**@{*/
+    int64_t exchangeCompressedBytes = 0;
+    int64_t exchangeDenseBytes = 0;
+    /**@}*/
+
     int64_t steps = 0;            //!< steps aggregated into this row
 
     double weightDensity() const { return mask.density(); }
@@ -100,6 +108,13 @@ struct EpochTrace
     /**@{*/
     int64_t totalCsbWeightBytes() const;
     int64_t totalDenseWeightBytes() const;
+    /**@}*/
+
+    /** @name Epoch gradient-exchange wire traffic, summed over traced
+        layers (zero for single-shard / plain-trainer runs). */
+    /**@{*/
+    int64_t totalExchangeCompressedBytes() const;
+    int64_t totalExchangeDenseBytes() const;
     /**@}*/
 };
 

@@ -97,6 +97,19 @@ struct LayerStepReport
     sparse::SparsityMask mask;
     /**@}*/
 
+    /** @name Cross-shard gradient-exchange traffic (valid when
+        hasExchange; filled by the scale-out shard engine, never by the
+        layer itself). */
+    /**@{*/
+    bool hasExchange = false;
+    /** Wire bytes this step's allreduce actually moved for this
+        layer's parameters: mask-live packed fp32 values, no indices
+        (every replica shares the mask). */
+    int64_t exchangeCompressedBytes = 0;
+    /** Dense twin: same message count, numel values per message. */
+    int64_t exchangeDenseBytes = 0;
+    /**@}*/
+
     /** @name Measured activation densities (non-zero fractions). */
     /**@{*/
     double inputDensity = 1.0;    //!< forward-input mean density

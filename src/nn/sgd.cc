@@ -17,16 +17,38 @@ Sgd::step(const std::vector<Param *> &params)
         for (Param *p : params)
             velocity_.emplace_back(p->value.shape());
     }
+    if (momentum_ > 0.0f) {
+        PROCRUSTES_ASSERT(velocity_.size() == params.size(),
+                          "parameter set changed between steps");
+    }
     for (size_t pi = 0; pi < params.size(); ++pi) {
         Param *p = params[pi];
         float *v = p->value.data();
         const float *g = p->grad.data();
         const int64_t n = p->value.numel();
         if (momentum_ > 0.0f) {
+            PROCRUSTES_ASSERT(velocity_[pi].numel() == n,
+                              "parameter shape changed between steps");
             float *vel = velocity_[pi].data();
-            for (int64_t i = 0; i < n; ++i) {
-                vel[i] = momentum_ * vel[i] + g[i];
-                v[i] -= lr_ * vel[i];
+            if (p->prunable) {
+                // Pruned positions hold an exact weight zero and get a
+                // masked (zero) gradient. Stale velocity from before
+                // the prune must not re-animate them: `v -= lr * vel`
+                // would move the weight off exact zero, violating the
+                // CSB mask/value invariant. Drop the velocity there.
+                for (int64_t i = 0; i < n; ++i) {
+                    if (v[i] == 0.0f && g[i] == 0.0f) {
+                        vel[i] = 0.0f;
+                        continue;
+                    }
+                    vel[i] = momentum_ * vel[i] + g[i];
+                    v[i] -= lr_ * vel[i];
+                }
+            } else {
+                for (int64_t i = 0; i < n; ++i) {
+                    vel[i] = momentum_ * vel[i] + g[i];
+                    v[i] -= lr_ * vel[i];
+                }
             }
         } else {
             for (int64_t i = 0; i < n; ++i)

@@ -16,23 +16,28 @@ trainNetwork(Network &net, Optimizer &opt, const Dataset &train,
     for (int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         const auto order =
             epochOrder(train.size(), cfg.shuffleSeed, epoch);
+        // Sample-weighted sums: the last batch of an epoch may be
+        // ragged (train.size() % batchSize != 0) and must count in
+        // proportion to its size, matching evaluateAccuracy.
         double loss_sum = 0.0;
         double acc_sum = 0.0;
-        int64_t batches = 0;
+        int64_t samples = 0;
 
-        for (int64_t start = 0; start + cfg.batchSize <= train.size();
+        for (int64_t start = 0; start < train.size();
              start += cfg.batchSize) {
-            std::vector<int64_t> idx(
-                order.begin() + start,
-                order.begin() + start + cfg.batchSize);
+            const int64_t end =
+                std::min(start + cfg.batchSize, train.size());
+            const int64_t n = end - start;
+            std::vector<int64_t> idx(order.begin() + start,
+                                     order.begin() + end);
             const Tensor x = train.batch(idx);
             const auto y = train.batchLabels(idx);
 
             net.zeroGrad();
             const Tensor logits = net.forward(x, /*training=*/true);
             const double batch_loss = loss.forward(logits, y);
-            loss_sum += batch_loss;
-            acc_sum += loss.accuracy();
+            loss_sum += batch_loss * static_cast<double>(n);
+            acc_sum += loss.accuracy() * static_cast<double>(n);
             net.backward(loss.backward());
             opt.step(params);
 
@@ -40,7 +45,7 @@ trainNetwork(Network &net, Optimizer &opt, const Dataset &train,
                 StepTelemetry t;
                 t.epoch = epoch;
                 t.step = global_step;
-                t.batchSize = cfg.batchSize;
+                t.batchSize = n;
                 t.batchLoss = batch_loss;
                 for (size_t li = 0; li < net.size(); ++li) {
                     LayerStepReport r;
@@ -50,13 +55,15 @@ trainNetwork(Network &net, Optimizer &opt, const Dataset &train,
                 observer(t);
             }
             ++global_step;
-            ++batches;
+            samples += n;
         }
 
         EpochStats st;
         st.epoch = epoch;
-        st.trainLoss = batches ? loss_sum / batches : 0.0;
-        st.trainAccuracy = batches ? acc_sum / batches : 0.0;
+        st.trainLoss =
+            samples ? loss_sum / static_cast<double>(samples) : 0.0;
+        st.trainAccuracy =
+            samples ? acc_sum / static_cast<double>(samples) : 0.0;
         st.valAccuracy = evaluateAccuracy(net, val);
         st.weightSparsity = weightSparsity(net);
         history.push_back(st);

@@ -1,0 +1,85 @@
+#include "sparse/grad_exchange.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace sparse {
+
+std::vector<uint8_t>
+liveMaskFromValues(const Tensor &value)
+{
+    const float *v = value.data();
+    const int64_t n = value.numel();
+    std::vector<uint8_t> live(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        live[static_cast<size_t>(i)] = v[i] != 0.0f ? 1 : 0;
+    return live;
+}
+
+int64_t
+liveCount(const std::vector<uint8_t> &live)
+{
+    int64_t nnz = 0;
+    for (uint8_t b : live)
+        nnz += b;
+    return nnz;
+}
+
+int64_t
+gatherLive(const float *src, const std::vector<uint8_t> &live,
+           float *dst)
+{
+    int64_t out = 0;
+    for (size_t i = 0; i < live.size(); ++i) {
+        if (live[i])
+            dst[out++] = src[i];
+    }
+    return out;
+}
+
+void
+scatterLive(const float *packed, const std::vector<uint8_t> &live,
+            float *dst)
+{
+    int64_t in = 0;
+    for (size_t i = 0; i < live.size(); ++i)
+        dst[i] = live[i] ? packed[in++] : 0.0f;
+}
+
+std::vector<float>
+sparseAllreduceGrads(const std::vector<std::vector<float>> &partials,
+                     const std::vector<float> &weights)
+{
+    PROCRUSTES_ASSERT(partials.size() == weights.size(),
+                      "one weight per partial");
+    PROCRUSTES_ASSERT(!partials.empty(), "nothing to reduce");
+    const size_t n = partials[0].size();
+    std::vector<float> acc(n, 0.0f);
+    for (size_t s = 0; s < partials.size(); ++s) {
+        PROCRUSTES_ASSERT(partials[s].size() == n,
+                          "partial length mismatch");
+        const float w = weights[s];
+        const float *x = partials[s].data();
+        for (size_t i = 0; i < n; ++i)
+            acc[i] += w * x[i];
+    }
+    return acc;
+}
+
+ExchangeVolume
+allreduceVolume(int64_t nnz, int64_t numel, int64_t gather_messages,
+                int64_t broadcast_messages)
+{
+    PROCRUSTES_ASSERT(nnz >= 0 && nnz <= numel,
+                      "nnz out of range");
+    PROCRUSTES_ASSERT(gather_messages >= 0 && broadcast_messages >= 0,
+                      "negative message count");
+    ExchangeVolume v;
+    v.messages = gather_messages + broadcast_messages;
+    v.compressedBytes = v.messages * nnz * 4;
+    v.denseBytes = v.messages * numel * 4;
+    return v;
+}
+
+} // namespace sparse
+} // namespace procrustes

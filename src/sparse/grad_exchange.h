@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Mask-live gradient gather/scatter and the deterministic
+ * allreduce-style fold used by the data-parallel shard engine
+ * (src/scaleout/).
+ *
+ * Sparse training makes gradient exchange cheap: under the CSB
+ * executors the weight gradient is masked (dW is exactly zero wherever
+ * the weight is a pruned zero), so only the mask-live positions carry
+ * information. Because every shard replica holds bitwise-identical
+ * weights, both endpoints of an exchange share the same mask and a
+ * message needs no indices — just the live values packed in mask
+ * order, the same convention CsbTensor uses for its value stream.
+ *
+ * Determinism contract: floating-point summation is a sequential left
+ * fold and is NOT decomposable at arbitrary boundaries, so the shard
+ * engine never pre-reduces per shard. Instead each global batch is cut
+ * into fixed-size grad slices (a granularity independent of the shard
+ * count), every slice contributes one packed partial, and
+ * sparseAllreduceGrads() folds the partials in global slice order.
+ * The result is bitwise identical for any shard count.
+ */
+
+#ifndef PROCRUSTES_SPARSE_GRAD_EXCHANGE_H_
+#define PROCRUSTES_SPARSE_GRAD_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace procrustes {
+namespace sparse {
+
+/**
+ * Flat live mask from a value tensor's zero pattern: 1 where the value
+ * is non-zero — the same "live iff value != 0 at encode time" rule the
+ * CSB encoders apply. Callers must NOT use this for parameters whose
+ * legitimate values can be exactly zero (e.g. zero-initialized
+ * biases); exchange those dense instead.
+ */
+std::vector<uint8_t> liveMaskFromValues(const Tensor &value);
+
+/** Number of live (non-zero) entries in a flat mask. */
+int64_t liveCount(const std::vector<uint8_t> &live);
+
+/**
+ * Pack src's live positions into dst in mask order. dst must hold
+ * liveCount(live) floats. Returns the packed count.
+ */
+int64_t gatherLive(const float *src, const std::vector<uint8_t> &live,
+                   float *dst);
+
+/**
+ * Unpack `packed` into dst: live positions receive the packed values
+ * in mask order, dead positions are set to exactly zero (a masked
+ * gradient is zero by definition). dst must hold live.size() floats.
+ */
+void scatterLive(const float *packed, const std::vector<uint8_t> &live,
+                 float *dst);
+
+/**
+ * Deterministic allreduce-style fold of packed mask-live partials:
+ * returns sum_i weights[i] * partials[i], folded sequentially in index
+ * (global slice) order. All partials must have equal length. With a
+ * single partial of weight 1.0f the result is bitwise equal to that
+ * partial (0 + 1*x == x in IEEE754), which is what makes a one-shard,
+ * one-slice engine step bitwise identical to the plain trainer.
+ */
+std::vector<float>
+sparseAllreduceGrads(const std::vector<std::vector<float>> &partials,
+                     const std::vector<float> &weights);
+
+/** Wire traffic of one parameter's exchange in one step. */
+struct ExchangeVolume
+{
+    int64_t compressedBytes = 0;  //!< mask-live packed fp32 payloads
+    int64_t denseBytes = 0;       //!< dense twin at equal message count
+    int64_t messages = 0;
+
+    ExchangeVolume &
+    operator+=(const ExchangeVolume &o)
+    {
+        compressedBytes += o.compressedBytes;
+        denseBytes += o.denseBytes;
+        messages += o.messages;
+        return *this;
+    }
+};
+
+/**
+ * Traffic of a reduce-to-root + broadcast exchange: `gather_messages`
+ * packed partials travel to the root and `broadcast_messages` reduced
+ * copies travel back out. A compressed message carries nnz packed fp32
+ * values and no indices (both endpoints share the mask); the dense
+ * twin moves numel values in the same number of messages.
+ */
+ExchangeVolume allreduceVolume(int64_t nnz, int64_t numel,
+                               int64_t gather_messages,
+                               int64_t broadcast_messages);
+
+} // namespace sparse
+} // namespace procrustes
+
+#endif // PROCRUSTES_SPARSE_GRAD_EXCHANGE_H_

@@ -4,15 +4,16 @@
 The bench JSON is hand-printed with fprintf, so a malformed escape or
 a missing field ships silently unless something parses it back. This
 checker validates that BENCH_kernels.json / BENCH_cosim.json /
-BENCH_dataflow.json are well-formed JSON and carry the schema keys
-EXPERIMENTS.md documents (including the host block that makes
-single-core numbers interpretable). Stdlib only — no third-party
-dependencies.
+BENCH_dataflow.json / BENCH_scaleout.json are well-formed JSON and
+carry the schema keys EXPERIMENTS.md documents (including the host
+block that makes single-core numbers interpretable). Stdlib only — no
+third-party dependencies.
 
 Usage:
     check_bench_schema.py kernels BENCH_kernels.json
     check_bench_schema.py cosim BENCH_cosim.json
     check_bench_schema.py dataflow BENCH_dataflow.json
+    check_bench_schema.py scaleout BENCH_scaleout.json
 """
 
 import json
@@ -99,6 +100,20 @@ DATAFLOW_POINT_KEYS = {
     "dram_stall_cycles", "macs_retired", "analytic_cycle_ratio",
 }
 DATAFLOW_VERSION = 1
+
+SCALEOUT_TOP_KEYS = {"version", "mode", "host", "config", "non_sharded",
+                     "shard1_twin", "runs"}
+SCALEOUT_CONFIG_KEYS = {"epochs", "global_batch", "slice_samples",
+                        "hidden", "target_sparsity",
+                        "interconnect_words_per_cycle", "shard_counts"}
+SCALEOUT_TRAJ_KEYS = {"epoch", "train_loss", "val_accuracy",
+                      "weight_density"}
+SCALEOUT_RUN_EPOCH_KEYS = SCALEOUT_TRAJ_KEYS | {
+    "exchange_compressed_bytes", "exchange_dense_bytes",
+    "exchange_messages", "modeled_exchange_cycles", "modeled_wu_cycles",
+    "modeled_total_cycles",
+}
+SCALEOUT_VERSION = 1
 
 
 def fail(msg):
@@ -318,9 +333,102 @@ def check_dataflow(doc):
         fail("default point: double-buffered ratio exceeds serial")
 
 
+def check_scaleout(doc):
+    require_keys(doc, SCALEOUT_TOP_KEYS, "BENCH_scaleout.json")
+    check_version(doc, SCALEOUT_VERSION, "BENCH_scaleout.json")
+    check_host(doc, "BENCH_scaleout.json")
+    cfg = doc["config"]
+    require_keys(cfg, SCALEOUT_CONFIG_KEYS, "config")
+    n_epochs = cfg["epochs"]
+    shard_counts = cfg["shard_counts"]
+    if not isinstance(shard_counts, list) or not shard_counts:
+        fail("config.shard_counts must be a non-empty array")
+
+    def check_epoch_list(rows, keys, where):
+        if not isinstance(rows, list) or len(rows) != n_epochs:
+            fail(f"{where} must have config.epochs = {n_epochs} entries")
+        for i, row in enumerate(rows):
+            require_keys(row, keys, f"{where}[{i}]")
+            if row["epoch"] != i:
+                fail(f"{where}[{i}].epoch = {row['epoch']}, expected {i}")
+            if not 0.0 <= row["weight_density"] <= 1.0:
+                fail(f"{where}[{i}].weight_density = "
+                     f"{row['weight_density']} outside [0, 1]")
+
+    for block in ("non_sharded", "shard1_twin"):
+        check_epoch_list(doc[block]["epochs"], SCALEOUT_TRAJ_KEYS,
+                         f"{block}.epochs")
+
+    runs = doc["runs"]
+    if not isinstance(runs, list):
+        fail("runs must be an array")
+    if [r.get("shards") for r in runs] != shard_counts:
+        fail(f"runs cover shards {[r.get('shards') for r in runs]}, "
+             f"expected config.shard_counts = {shard_counts}")
+    for run in runs:
+        m = run["shards"]
+        where = f"runs[shards={m}].epochs"
+        check_epoch_list(run["epochs"], SCALEOUT_RUN_EPOCH_KEYS, where)
+        for i, row in enumerate(run["epochs"]):
+            comp = row["exchange_compressed_bytes"]
+            dense = row["exchange_dense_bytes"]
+            if m == 1:
+                # One shard exchanges nothing, models nothing.
+                for k in ("exchange_compressed_bytes",
+                          "exchange_dense_bytes", "exchange_messages",
+                          "modeled_exchange_cycles"):
+                    if row[k] != 0:
+                        fail(f"{where}[{i}].{k} = {row[k]}, expected 0 "
+                             f"at shards = 1")
+                continue
+            if row["exchange_messages"] <= 0:
+                fail(f"{where}[{i}].exchange_messages must be positive")
+            if comp > dense:
+                fail(f"{where}[{i}]: compressed exchange {comp} exceeds "
+                     f"dense twin {dense}")
+            # Exchange masks are sampled before the step, so strict
+            # compression is guaranteed from the first epoch that
+            # *starts* sparse (the previous epoch ended with live
+            # density < 1), not from the epoch a prune event lands in.
+            prev = run["epochs"][i - 1] if i > 0 else None
+            if prev is not None and prev["weight_density"] < 1.0:
+                if comp >= dense:
+                    fail(f"{where}[{i}]: sparse epoch but compressed "
+                         f"exchange {comp} is not below dense {dense}")
+            if comp > 0 and row["modeled_exchange_cycles"] <= 0:
+                fail(f"{where}[{i}]: exchange bytes present but "
+                     f"modeled_exchange_cycles = "
+                     f"{row['modeled_exchange_cycles']}")
+            if row["modeled_wu_cycles"] < row["modeled_exchange_cycles"]:
+                fail(f"{where}[{i}]: wu cycles "
+                     f"{row['modeled_wu_cycles']} below the exchange "
+                     f"bound {row['modeled_exchange_cycles']}")
+    # The determinism contract, as emitted: every shard count follows
+    # the bitwise-identical trajectory (floats printed with %.17g
+    # round-trip exactly), and the shards=1 twin at sliceSamples ==
+    # batchSize equals the plain trainer run.
+    ref = runs[0]["epochs"]
+    for run in runs[1:]:
+        for i, row in enumerate(run["epochs"]):
+            for k in ("train_loss", "val_accuracy", "weight_density"):
+                if row[k] != ref[i][k]:
+                    fail(f"runs[shards={run['shards']}].epochs[{i}].{k} "
+                         f"= {row[k]} differs from shards="
+                         f"{runs[0]['shards']} value {ref[i][k]} — "
+                         f"shard-count determinism broken")
+    for i in range(n_epochs):
+        a = doc["non_sharded"]["epochs"][i]
+        b = doc["shard1_twin"]["epochs"][i]
+        for k in ("train_loss", "val_accuracy", "weight_density"):
+            if a[k] != b[k]:
+                fail(f"shard1_twin.epochs[{i}].{k} = {b[k]} differs "
+                     f"from non_sharded {a[k]} — the engine twin is "
+                     f"not bitwise-equivalent to the plain trainer")
+
+
 def main():
     checks = {"kernels": check_kernels, "cosim": check_cosim,
-              "dataflow": check_dataflow}
+              "dataflow": check_dataflow, "scaleout": check_scaleout}
     if len(sys.argv) != 3 or sys.argv[1] not in checks:
         print(__doc__, file=sys.stderr)
         return 2
