@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Multi-tenant training-service bench: four tenant jobs (spiral-task
+ * MLPs on the CSB sparse backend, two gradual-pruning schedules, one
+ * momentum-SGD, one plain-SGD) run twice — each solo, then all four
+ * multiplexed by the fair-share JobScheduler over the shared thread
+ * pool — and the bench records both trajectories so the schema
+ * checker can verify the service's isolation guarantee: a job under
+ * the scheduler is bitwise identical to the same job running alone.
+ *
+ * A resume block exercises the checkpoint path end to end: the first
+ * job is trained to its midpoint, snapshotted (timed, byte-counted),
+ * restored into a fresh engine, run to completion, and compared
+ * bitwise against the solo run's final weights.
+ *
+ * Emits BENCH_jobs.json v1 (schema documented in EXPERIMENTS.md,
+ * checked by tools/check_bench_schema.py jobs). Trajectory floats are
+ * printed with %.17g so exact equality survives the JSON round trip.
+ *
+ * Usage: bench_jobs [--smoke] [--out PATH]
+ *   --smoke   3 epochs on a smaller net (CI wiring check)
+ *   --out     output JSON path (default BENCH_jobs.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/linear.h"
+#include "serve/job_scheduler.h"
+#include "serve/training_job.h"
+#include "sparse/gradual_pruning.h"
+#include "train_util.h"
+
+using namespace procrustes;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct JobSpec
+{
+    std::string name;
+    uint64_t netSeed = 0;
+    uint64_t shuffleSeed = 0;
+    serve::OptimizerFactory makeOpt;
+};
+
+std::vector<JobSpec>
+tenantSpecs()
+{
+    std::vector<JobSpec> specs;
+    specs.push_back(
+        {"prune-lottery", 11, 7, [] {
+             sparse::GradualPruningConfig pc;
+             pc.targetSparsity = 4.0;
+             pc.lr = 0.08f;
+             pc.warmupIterations = 10;
+             pc.pruneInterval = 5;
+             pc.pruneFraction = 0.25;
+             return std::make_unique<
+                 sparse::GradualMagnitudePruningOptimizer>(pc);
+         }});
+    specs.push_back(
+        {"prune-eager", 12, 8, [] {
+             sparse::GradualPruningConfig pc;
+             pc.targetSparsity = 6.0;
+             pc.lr = 0.08f;
+             pc.warmupIterations = 6;
+             pc.pruneInterval = 3;
+             pc.pruneFraction = 0.4;
+             return std::make_unique<
+                 sparse::GradualMagnitudePruningOptimizer>(pc);
+         }});
+    specs.push_back(
+        {"sgd-momentum", 13, 9, [] {
+             return std::make_unique<nn::Sgd>(0.05f, 0.9f);
+         }});
+    specs.push_back({"sgd-plain", 14, 10, [] {
+                         return std::make_unique<nn::Sgd>(0.05f);
+                     }});
+    return specs;
+}
+
+std::unique_ptr<serve::TrainingJob>
+makeJob(const JobSpec &spec, int64_t epochs, int64_t batch,
+        int64_t hidden, const nn::Dataset &train,
+        const nn::Dataset &val)
+{
+    serve::JobConfig jc;
+    jc.name = spec.name;
+    jc.epochs = epochs;
+    jc.batchSize = batch;
+    jc.shuffleSeed = spec.shuffleSeed;
+    const uint64_t seed = spec.netSeed;
+    return std::make_unique<serve::TrainingJob>(
+        jc,
+        [seed, hidden](nn::Network &net) {
+            bench::buildMlp(net, seed, hidden);
+            bench::useSparseBackend(net);
+        },
+        spec.makeOpt, &train, &val);
+}
+
+void
+emitEpochs(FILE *f, const std::vector<nn::EpochStats> &hist)
+{
+    std::fprintf(f, "      \"epochs\": [\n");
+    for (size_t e = 0; e < hist.size(); ++e) {
+        const nn::EpochStats &s = hist[e];
+        std::fprintf(f,
+                     "        {\"epoch\": %lld, \"train_loss\": %.17g, "
+                     "\"val_accuracy\": %.17g, "
+                     "\"weight_density\": %.17g}%s\n",
+                     static_cast<long long>(s.epoch), s.trainLoss,
+                     s.valAccuracy, 1.0 - s.weightSparsity,
+                     e + 1 < hist.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out = "BENCH_jobs.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    bench::banner(
+        "Multi-tenant training service: scheduler + checkpoint/resume",
+        "beyond the paper — serving N sparse-training tenants on one "
+        "engine with bitwise isolation and resumability");
+
+    const int64_t hidden = smoke ? 16 : 48;
+    const int64_t epochs = smoke ? 3 : 10;
+    const int64_t batch = 32;
+    const auto splits = bench::spiralSplits();
+    const auto specs = tenantSpecs();
+
+    // ---- solo runs --------------------------------------------------
+    std::vector<std::vector<nn::EpochStats>> solo_hist;
+    std::vector<std::vector<float>> solo_weights;
+    double sequential_ms = 0.0;
+    for (const JobSpec &spec : specs) {
+        auto job = makeJob(spec, epochs, batch, hidden, splits.first,
+                           splits.second);
+        const auto t0 = std::chrono::steady_clock::now();
+        job->run();
+        sequential_ms += msSince(t0);
+        solo_hist.push_back(job->history());
+        std::vector<float> flat;
+        for (nn::Param *p : job->network().params()) {
+            const float *v = p->value.data();
+            flat.insert(flat.end(), v, v + p->value.numel());
+        }
+        solo_weights.push_back(std::move(flat));
+        std::printf("solo       %-14s final acc %.3f  density %.3f\n",
+                    spec.name.c_str(),
+                    job->history().back().valAccuracy,
+                    1.0 - job->history().back().weightSparsity);
+    }
+
+    // ---- concurrent under the scheduler -----------------------------
+    serve::JobScheduler sched;
+    std::vector<serve::TrainingJob *> handles;
+    for (const JobSpec &spec : specs) {
+        handles.push_back(sched.addJob(makeJob(
+            spec, epochs, batch, hidden, splits.first, splits.second)));
+    }
+    int64_t max_spread = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (sched.runRound() > 0) {
+        int64_t lo = epochs;
+        int64_t hi = 0;
+        bool any = false;
+        for (serve::TrainingJob *j : handles) {
+            if (j->finished())
+                continue;
+            any = true;
+            lo = std::min(lo, j->epochsCompleted());
+            hi = std::max(hi, j->epochsCompleted());
+        }
+        if (any)
+            max_spread = std::max(max_spread, hi - lo);
+    }
+    const double concurrent_ms = msSince(t0);
+    for (size_t j = 0; j < handles.size(); ++j) {
+        std::printf("concurrent %-14s final acc %.3f  density %.3f\n",
+                    specs[j].name.c_str(),
+                    handles[j]->history().back().valAccuracy,
+                    1.0 - handles[j]->history().back().weightSparsity);
+    }
+
+    // ---- checkpoint / resume on tenant 0 ----------------------------
+    const int64_t total_steps =
+        static_cast<int64_t>(solo_hist[0].size()) *
+        ((splits.first.size() + batch - 1) / batch);
+    const int64_t checkpoint_step = total_steps / 2;
+    std::vector<uint8_t> blob;
+    double save_ms = 0.0;
+    {
+        auto first = makeJob(specs[0], epochs, batch, hidden,
+                             splits.first, splits.second);
+        while (first->globalStep() < checkpoint_step)
+            first->step();
+        const auto ts = std::chrono::steady_clock::now();
+        blob = first->checkpoint();
+        save_ms = msSince(ts);
+    }
+    auto resumed = makeJob(specs[0], epochs, batch, hidden,
+                           splits.first, splits.second);
+    const auto tr = std::chrono::steady_clock::now();
+    resumed->restore(blob);
+    const double restore_ms = msSince(tr);
+    resumed->run();
+    const int64_t resumed_steps =
+        resumed->globalStep() - checkpoint_step;
+
+    bool bitwise_equal = true;
+    {
+        size_t off = 0;
+        for (nn::Param *p : resumed->network().params()) {
+            const float *v = p->value.data();
+            for (int64_t i = 0; i < p->value.numel(); ++i) {
+                if (v[i] != solo_weights[0][off + static_cast<size_t>(i)])
+                    bitwise_equal = false;
+            }
+            off += static_cast<size_t>(p->value.numel());
+        }
+        bitwise_equal = bitwise_equal && off == solo_weights[0].size();
+    }
+    std::printf("resume     %-14s ckpt@%lld/%lld  %zu bytes  "
+                "save %.2f ms  restore %.2f ms  bitwise %s\n",
+                specs[0].name.c_str(),
+                static_cast<long long>(checkpoint_step),
+                static_cast<long long>(total_steps), blob.size(),
+                save_ms, restore_ms, bitwise_equal ? "yes" : "NO");
+
+    // ---- JSON -------------------------------------------------------
+    FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    bench::emitHostJson(f);
+    std::fprintf(f,
+                 "  \"config\": {\"jobs\": %zu, \"epochs\": %lld, "
+                 "\"batch\": %lld, \"hidden\": %lld,\n"
+                 "    \"job_names\": [",
+                 specs.size(), static_cast<long long>(epochs),
+                 static_cast<long long>(batch),
+                 static_cast<long long>(hidden));
+    for (size_t j = 0; j < specs.size(); ++j)
+        std::fprintf(f, "\"%s\"%s", specs[j].name.c_str(),
+                     j + 1 < specs.size() ? ", " : "");
+    std::fprintf(f, "]},\n");
+
+    std::fprintf(f, "  \"jobs\": [\n");
+    for (size_t j = 0; j < specs.size(); ++j) {
+        std::fprintf(f, "   {\"name\": \"%s\",\n",
+                     specs[j].name.c_str());
+        std::fprintf(f, "    \"solo\": {\n");
+        emitEpochs(f, solo_hist[j]);
+        std::fprintf(f, "    },\n");
+        std::fprintf(f, "    \"concurrent\": {\n");
+        emitEpochs(f, handles[j]->history());
+        std::fprintf(f, "    }\n");
+        std::fprintf(f, "   }%s\n", j + 1 < specs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+
+    std::fprintf(f,
+                 "  \"timing\": {\"sequential_ms\": %.3f, "
+                 "\"concurrent_ms\": %.3f},\n",
+                 sequential_ms, concurrent_ms);
+    std::fprintf(f,
+                 "  \"fairness\": {\"rounds\": %lld, "
+                 "\"max_epoch_spread\": %lld},\n",
+                 static_cast<long long>(sched.roundsExecuted()),
+                 static_cast<long long>(max_spread));
+    std::fprintf(f,
+                 "  \"resume\": {\"job\": \"%s\", \"total_steps\": %lld, "
+                 "\"checkpoint_step\": %lld, \"resumed_steps\": %lld,\n"
+                 "    \"checkpoint_bytes\": %zu, \"save_ms\": %.3f, "
+                 "\"restore_ms\": %.3f, \"bitwise_equal\": %s}\n",
+                 specs[0].name.c_str(),
+                 static_cast<long long>(total_steps),
+                 static_cast<long long>(checkpoint_step),
+                 static_cast<long long>(resumed_steps), blob.size(),
+                 save_ms, restore_ms, bitwise_equal ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    return bitwise_equal ? 0 : 1;
+}

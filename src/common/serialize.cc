@@ -1,0 +1,34 @@
+#include "common/serialize.h"
+
+namespace procrustes {
+
+void
+ByteWriter::writeTensor(const Tensor &t)
+{
+    const Shape &s = t.shape();
+    writeU32(static_cast<uint32_t>(s.rank()));
+    for (int i = 0; i < s.rank(); ++i)
+        writeI64(s[i]);
+    writeI64(t.numel());
+    writeBytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor
+ByteReader::readTensor()
+{
+    const uint32_t rank = readU32();
+    if (rank > static_cast<uint32_t>(Shape::kMaxRank))
+        FATAL("checkpoint corrupt: tensor rank out of range");
+    std::vector<int64_t> dims;
+    dims.reserve(rank);
+    for (uint32_t i = 0; i < rank; ++i)
+        dims.push_back(readI64());
+    const int64_t numel = readI64();
+    Tensor t(rank ? Shape(dims) : Shape{});
+    if (t.numel() != numel)
+        FATAL("checkpoint corrupt: tensor payload size mismatch");
+    readBytes(t.data(), static_cast<size_t>(numel) * sizeof(float));
+    return t;
+}
+
+} // namespace procrustes

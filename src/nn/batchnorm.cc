@@ -27,6 +27,25 @@ BatchNorm2d::params()
     return {&gamma_, &beta_};
 }
 
+void
+BatchNorm2d::serializeState(ByteWriter &w) const
+{
+    w.writeTensor(runningMean_);
+    w.writeTensor(runningVar_);
+}
+
+void
+BatchNorm2d::restoreState(ByteReader &r)
+{
+    Tensor mean = r.readTensor();
+    Tensor var = r.readTensor();
+    PROCRUSTES_ASSERT(mean.numel() == channels_ &&
+                          var.numel() == channels_,
+                      "batchnorm running-stat shape mismatch on restore");
+    runningMean_ = std::move(mean);
+    runningVar_ = std::move(var);
+}
+
 Tensor
 BatchNorm2d::forward(const Tensor &x, bool training)
 {

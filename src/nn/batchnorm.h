@@ -33,8 +33,22 @@ class BatchNorm2d : public Layer
     std::vector<Param *> params() override;
     std::string name() const override { return name_; }
 
+    /**
+     * Running mean/var are trained state that is NOT reachable through
+     * params() (they are updated by forward(), not the optimizer), so
+     * they travel through the layer-state checkpoint contract — a
+     * params-only snapshot restores a net that evaluates with fresh
+     * (0, 1) statistics.
+     */
+    void serializeState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
     Param &gamma() { return gamma_; }
     Param &beta() { return beta_; }
+
+    /** Running statistics (inference-mode normalizers), for tests. */
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
 
   private:
     int64_t channels_;

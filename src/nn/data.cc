@@ -13,6 +13,8 @@ Tensor
 Dataset::batch(const std::vector<int64_t> &indices) const
 {
     const Shape &s = images.shape();
+    PROCRUSTES_ASSERT(s.rank() == 4,
+                      "Dataset::batch expects rank-4 [N, C, H, W] images");
     const int64_t c = s[1];
     const int64_t h = s[2];
     const int64_t w = s[3];

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "sparse/mask.h"
 #include "tensor/tensor.h"
 
@@ -192,6 +193,33 @@ class Layer
         (void)out;
         return false;
     }
+
+    /**
+     * @name Layer-state checkpoint contract.
+     *
+     * Some training state lives outside params(): batch-norm running
+     * statistics are the canonical case. A checkpoint built from the
+     * param list alone silently loses it, so every layer serializes
+     * its non-parameter state here (raw bit images via ByteWriter, so
+     * restore is bitwise-exact). Per-step caches (saved activations,
+     * CSB encodes, tap packs) are deliberately NOT state: checkpoints
+     * are taken between optimizer steps, where the next forward()
+     * rebuilds them deterministically. Stateless layers inherit the
+     * empty default.
+     */
+    /**@{*/
+    virtual void
+    serializeState(ByteWriter &w) const
+    {
+        (void)w;
+    }
+
+    virtual void
+    restoreState(ByteReader &r)
+    {
+        (void)r;
+    }
+    /**@}*/
 };
 
 /**

@@ -58,5 +58,33 @@ Sgd::step(const std::vector<Param *> &params)
     ++iteration_;
 }
 
+void
+Sgd::serializeState(ByteWriter &w) const
+{
+    Optimizer::serializeState(w);
+    // velocity_ is lazily sized on the first momentum step; a fresh
+    // optimizer checkpointed before any step has none, and restore
+    // must reproduce that exact lazy state.
+    w.writeU8(velocity_.empty() ? 0 : 1);
+    if (!velocity_.empty()) {
+        w.writeU32(static_cast<uint32_t>(velocity_.size()));
+        for (const Tensor &v : velocity_)
+            w.writeTensor(v);
+    }
+}
+
+void
+Sgd::restoreState(ByteReader &r)
+{
+    Optimizer::restoreState(r);
+    velocity_.clear();
+    if (r.readU8()) {
+        const uint32_t count = r.readU32();
+        velocity_.reserve(count);
+        for (uint32_t i = 0; i < count; ++i)
+            velocity_.push_back(r.readTensor());
+    }
+}
+
 } // namespace nn
 } // namespace procrustes

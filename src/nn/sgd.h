@@ -29,6 +29,36 @@ class Optimizer
     /** Steps taken so far. */
     int64_t iteration() const { return iteration_; }
 
+    /**
+     * @name Optimizer-state checkpoint contract.
+     *
+     * An optimizer carries trajectory state beyond the weights it
+     * updates (step counter, momentum velocity, pruning masks). The
+     * job-service checkpoint captures it here as raw bit images so a
+     * restored optimizer continues bitwise-identically. stateKind()
+     * tags the payload so a snapshot taken with one update rule cannot
+     * be silently fed to another; checkpointComplete() lets the
+     * checkpoint layer WARN when an optimizer has not opted into the
+     * contract (its payload would restore the step counter only).
+     */
+    /**@{*/
+    virtual const char *stateKind() const { return "optimizer_base"; }
+
+    virtual bool checkpointComplete() const { return false; }
+
+    virtual void
+    serializeState(ByteWriter &w) const
+    {
+        w.writeI64(iteration_);
+    }
+
+    virtual void
+    restoreState(ByteReader &r)
+    {
+        iteration_ = r.readI64();
+    }
+    /**@}*/
+
   protected:
     int64_t iteration_ = 0;
 };
@@ -41,6 +71,11 @@ class Sgd : public Optimizer
     explicit Sgd(float lr, float momentum = 0.0f);
 
     void step(const std::vector<Param *> &params) override;
+
+    const char *stateKind() const override { return "sgd"; }
+    bool checkpointComplete() const override { return true; }
+    void serializeState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
 
     float learningRate() const { return lr_; }
     void setLearningRate(float lr) { lr_ = lr; }

@@ -1,0 +1,84 @@
+#include "serve/job_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace procrustes {
+namespace serve {
+
+JobScheduler::JobScheduler(const SchedulerConfig &cfg) : cfg_(cfg)
+{
+    PROCRUSTES_ASSERT(cfg.maxConcurrent >= 0,
+                      "maxConcurrent must be non-negative");
+}
+
+TrainingJob *
+JobScheduler::addJob(std::unique_ptr<TrainingJob> job)
+{
+    PROCRUSTES_ASSERT(job != nullptr, "cannot add a null job");
+    jobs_.push_back(std::move(job));
+    return jobs_.back().get();
+}
+
+bool
+JobScheduler::allFinished() const
+{
+    for (const auto &j : jobs_) {
+        if (!j->finished())
+            return false;
+    }
+    return true;
+}
+
+int
+JobScheduler::runRound()
+{
+    // Least-advanced first, submission order breaking ties: a stable
+    // sort on epochsCompleted gives every unfinished job a turn before
+    // any job gets a second one, which is what bounds the epoch
+    // spread at one.
+    std::vector<TrainingJob *> ready;
+    for (const auto &j : jobs_) {
+        if (!j->finished())
+            ready.push_back(j.get());
+    }
+    if (ready.empty())
+        return 0;
+    std::stable_sort(ready.begin(), ready.end(),
+                     [](const TrainingJob *a, const TrainingJob *b) {
+                         return a->epochsCompleted() <
+                                b->epochsCompleted();
+                     });
+    if (cfg_.maxConcurrent > 0 &&
+        static_cast<size_t>(cfg_.maxConcurrent) < ready.size()) {
+        ready.resize(static_cast<size_t>(cfg_.maxConcurrent));
+    }
+
+    const auto n = static_cast<int64_t>(ready.size());
+    if (n == 1) {
+        // Stay off the pool so nested kernels keep their parallelism.
+        ready[0]->runEpoch();
+    } else {
+        ThreadPool::global().parallelFor(
+            0, n,
+            [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i)
+                    ready[static_cast<size_t>(i)]->runEpoch();
+            },
+            /*grain=*/1);
+    }
+    ++rounds_;
+    return static_cast<int>(n);
+}
+
+void
+JobScheduler::runAll()
+{
+    while (runRound() > 0) {
+    }
+}
+
+} // namespace serve
+} // namespace procrustes

@@ -1,0 +1,49 @@
+#include "serve/stats_writer.h"
+
+#include "common/logging.h"
+
+namespace procrustes {
+namespace serve {
+
+StatsWriter::StatsWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_)
+        FATAL("cannot open stats file '" + path + "'");
+}
+
+StatsWriter::~StatsWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+StatsWriter::writeStep(const std::string &job, const nn::StepTelemetry &t)
+{
+    std::fprintf(file_,
+                 "{\"kind\": \"step\", \"job\": \"%s\", \"epoch\": %lld, "
+                 "\"step\": %lld, \"batch\": %lld, \"loss\": %.17g}\n",
+                 job.c_str(), static_cast<long long>(t.epoch),
+                 static_cast<long long>(t.step),
+                 static_cast<long long>(t.batchSize), t.batchLoss);
+    std::fflush(file_);
+    ++lines_;
+}
+
+void
+StatsWriter::writeEpoch(const std::string &job, const nn::EpochStats &st)
+{
+    std::fprintf(file_,
+                 "{\"kind\": \"epoch\", \"job\": \"%s\", \"epoch\": %lld, "
+                 "\"train_loss\": %.17g, \"train_accuracy\": %.17g, "
+                 "\"val_accuracy\": %.17g, \"weight_sparsity\": %.17g}\n",
+                 job.c_str(), static_cast<long long>(st.epoch),
+                 st.trainLoss, st.trainAccuracy, st.valAccuracy,
+                 st.weightSparsity);
+    std::fflush(file_);
+    ++lines_;
+}
+
+} // namespace serve
+} // namespace procrustes

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Streaming per-job training statistics as JSON Lines.
+ *
+ * Each TrainingJob gets its own StatsWriter (one file per job, so no
+ * locking is needed — the scheduler never runs one job on two threads
+ * at once). Records are appended and flushed as they happen, so an
+ * interrupted run leaves a readable prefix; floats are printed with
+ * %.17g so a consumer that round-trips them recovers the exact
+ * double, matching the bitwise-determinism bar of the bench JSON.
+ */
+
+#ifndef PROCRUSTES_SERVE_STATS_WRITER_H_
+#define PROCRUSTES_SERVE_STATS_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "nn/trainer.h"
+
+namespace procrustes {
+namespace serve {
+
+/** Append-only JSONL sink for one job's step/epoch telemetry. */
+class StatsWriter
+{
+  public:
+    /** Open (truncate) `path`; FATALs if it cannot be created. */
+    explicit StatsWriter(const std::string &path);
+    ~StatsWriter();
+
+    StatsWriter(const StatsWriter &) = delete;
+    StatsWriter &operator=(const StatsWriter &) = delete;
+
+    /** One line per optimizer step: kind, job, epoch, step, loss. */
+    void writeStep(const std::string &job, const nn::StepTelemetry &t);
+
+    /** One line per closed epoch: the EpochStats summary. */
+    void writeEpoch(const std::string &job, const nn::EpochStats &st);
+
+    int64_t linesWritten() const { return lines_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    FILE *file_ = nullptr;
+    int64_t lines_ = 0;
+};
+
+} // namespace serve
+} // namespace procrustes
+
+#endif // PROCRUSTES_SERVE_STATS_WRITER_H_

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A resumable training job: the unit the multi-tenant service runs.
+ *
+ * TrainingJob owns a network replica, an optimizer, a pruning/update
+ * schedule (whatever the optimizer implements), references to its
+ * datasets, and a TrainCursor into the shuffled sample stream. It
+ * advances one optimizer step at a time, with the step expression
+ * sequence mirroring nn::trainNetwork exactly — same reduction order,
+ * same sample-weighted accumulators — so a job trained to completion
+ * is bitwise identical to a trainNetwork run with the same seeds, and
+ * a job checkpointed at any step and restored into a fresh engine
+ * continues bitwise-identically.
+ *
+ * Resume needs no stored permutation: epochOrder(n, seed, epoch) is a
+ * pure function, so the cursor's (epoch, stepInEpoch) pair locates
+ * the next batch mid-stream.
+ */
+
+#ifndef PROCRUSTES_SERVE_TRAINING_JOB_H_
+#define PROCRUSTES_SERVE_TRAINING_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.h"
+#include "serve/checkpoint.h"
+#include "serve/stats_writer.h"
+
+namespace procrustes {
+namespace serve {
+
+/** Builds a job's network (must be deterministic). */
+using NetworkBuilder = std::function<void(nn::Network &)>;
+
+/** Creates a job's optimizer (must be deterministic). */
+using OptimizerFactory = std::function<std::unique_ptr<nn::Optimizer>()>;
+
+/** Per-job training configuration (mirrors nn::TrainConfig). */
+struct JobConfig
+{
+    std::string name = "job";
+    int64_t epochs = 10;
+    int64_t batchSize = 16;
+    uint64_t shuffleSeed = 7;
+};
+
+/**
+ * One tenant's training run. Not thread-safe: the scheduler ensures a
+ * job is driven by at most one thread at a time.
+ */
+class TrainingJob
+{
+  public:
+    /**
+     * `train` and `val` are borrowed and must outlive the job; jobs
+     * may share datasets (Dataset access is read-only).
+     */
+    TrainingJob(const JobConfig &cfg, const NetworkBuilder &build,
+                const OptimizerFactory &make_opt,
+                const nn::Dataset *train, const nn::Dataset *val);
+
+    /**
+     * Run one optimizer step. Returns true when the step closed an
+     * epoch (validation ran and an EpochStats was appended). Must not
+     * be called on a finished job.
+     */
+    bool step();
+
+    /** Run steps until the current epoch closes. */
+    void runEpoch();
+
+    /** Run to completion. */
+    void run();
+
+    bool finished() const { return cursor_.epoch >= cfg_.epochs; }
+    int64_t epochsCompleted() const { return cursor_.epoch; }
+    int64_t globalStep() const { return cursor_.globalStep; }
+    const JobConfig &config() const { return cfg_; }
+    const std::vector<nn::EpochStats> &history() const { return history_; }
+    nn::Network &network() { return net_; }
+    nn::Optimizer &optimizer() { return *opt_; }
+
+    /** Snapshot the full training state (serve/checkpoint.h format). */
+    std::vector<uint8_t> checkpoint();
+
+    /**
+     * Restore a snapshot taken from a job with the same builder and
+     * optimizer factory. Epoch history before the restored cursor is
+     * not part of the snapshot — the resumed job's history() covers
+     * epochs closed after the restore point only.
+     */
+    void restore(const std::vector<uint8_t> &blob);
+
+    /** Per-step telemetry hook (same contract as trainNetwork's). */
+    void setObserver(const nn::StepObserver &observer);
+
+    /** Attach a JSONL sink (borrowed, may be null to detach). */
+    void setStatsWriter(StatsWriter *stats) { stats_ = stats; }
+
+  private:
+    void closeEpoch();
+
+    JobConfig cfg_;
+    nn::Network net_;
+    std::unique_ptr<nn::Optimizer> opt_;
+    const nn::Dataset *train_;
+    const nn::Dataset *val_;
+    nn::SoftmaxCrossEntropy loss_;
+    std::vector<nn::Param *> params_;
+    TrainCursor cursor_;
+    std::vector<nn::EpochStats> history_;
+    nn::StepObserver observer_;
+    StatsWriter *stats_ = nullptr;
+    /** Cached epochOrder for orderEpoch_; rebuilt lazily on demand. */
+    std::vector<int64_t> order_;
+    int64_t orderEpoch_ = -1;
+};
+
+} // namespace serve
+} // namespace procrustes
+
+#endif // PROCRUSTES_SERVE_TRAINING_JOB_H_

@@ -128,6 +128,44 @@ GradualMagnitudePruningOptimizer::step(
     }
 }
 
+void
+GradualMagnitudePruningOptimizer::serializeState(ByteWriter &w) const
+{
+    Optimizer::serializeState(w);
+    w.writeU8(initialized_ ? 1 : 0);
+    w.writeI64(prunableCount_);
+    w.writeI64(aliveCount_);
+    w.writeF64(densityIntegral_);
+    w.writeI64(pruneEvents_);
+    w.writeU32(static_cast<uint32_t>(masks_.size()));
+    for (const std::vector<uint8_t> &m : masks_) {
+        w.writeU64(m.size());
+        if (!m.empty())
+            w.writeBytes(m.data(), m.size());
+    }
+}
+
+void
+GradualMagnitudePruningOptimizer::restoreState(ByteReader &r)
+{
+    Optimizer::restoreState(r);
+    initialized_ = r.readU8() != 0;
+    prunableCount_ = r.readI64();
+    aliveCount_ = r.readI64();
+    densityIntegral_ = r.readF64();
+    pruneEvents_ = static_cast<int>(r.readI64());
+    const uint32_t count = r.readU32();
+    masks_.clear();
+    masks_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint64_t n = r.readU64();
+        std::vector<uint8_t> m(static_cast<size_t>(n));
+        if (n)
+            r.readBytes(m.data(), m.size());
+        masks_.push_back(std::move(m));
+    }
+}
+
 double
 GradualMagnitudePruningOptimizer::currentDensity() const
 {

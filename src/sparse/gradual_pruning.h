@@ -62,6 +62,22 @@ class GradualMagnitudePruningOptimizer : public nn::Optimizer
 
     void step(const std::vector<nn::Param *> &params) override;
 
+    /**
+     * Checkpoint contract. The masks MUST travel with the weights:
+     * step() lazily re-captures masks on a fresh optimizer, marking
+     * every position alive, so restoring pruned weights into an
+     * unserialized optimizer would let dense-backend gradients
+     * re-animate pruned positions and the resumed trajectory would
+     * diverge from the uninterrupted run.
+     */
+    const char *stateKind() const override
+    {
+        return "gradual_magnitude_pruning";
+    }
+    bool checkpointComplete() const override { return true; }
+    void serializeState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
     /** Current non-zero fraction of prunable weights. */
     double currentDensity() const;
 

@@ -4,16 +4,17 @@
 The bench JSON is hand-printed with fprintf, so a malformed escape or
 a missing field ships silently unless something parses it back. This
 checker validates that BENCH_kernels.json / BENCH_cosim.json /
-BENCH_dataflow.json / BENCH_scaleout.json are well-formed JSON and
-carry the schema keys EXPERIMENTS.md documents (including the host
-block that makes single-core numbers interpretable). Stdlib only — no
-third-party dependencies.
+BENCH_dataflow.json / BENCH_scaleout.json / BENCH_jobs.json are
+well-formed JSON and carry the schema keys EXPERIMENTS.md documents
+(including the host block that makes single-core numbers
+interpretable). Stdlib only — no third-party dependencies.
 
 Usage:
     check_bench_schema.py kernels BENCH_kernels.json
     check_bench_schema.py cosim BENCH_cosim.json
     check_bench_schema.py dataflow BENCH_dataflow.json
     check_bench_schema.py scaleout BENCH_scaleout.json
+    check_bench_schema.py jobs BENCH_jobs.json
 """
 
 import json
@@ -114,6 +115,18 @@ SCALEOUT_RUN_EPOCH_KEYS = SCALEOUT_TRAJ_KEYS | {
     "modeled_total_cycles",
 }
 SCALEOUT_VERSION = 1
+
+JOBS_TOP_KEYS = {"version", "mode", "host", "config", "jobs", "timing",
+                 "fairness", "resume"}
+JOBS_CONFIG_KEYS = {"jobs", "epochs", "batch", "hidden", "job_names"}
+JOBS_TRAJ_KEYS = {"epoch", "train_loss", "val_accuracy",
+                  "weight_density"}
+JOBS_TIMING_KEYS = {"sequential_ms", "concurrent_ms"}
+JOBS_FAIRNESS_KEYS = {"rounds", "max_epoch_spread"}
+JOBS_RESUME_KEYS = {"job", "total_steps", "checkpoint_step",
+                    "resumed_steps", "checkpoint_bytes", "save_ms",
+                    "restore_ms", "bitwise_equal"}
+JOBS_VERSION = 1
 
 
 def fail(msg):
@@ -426,9 +439,97 @@ def check_scaleout(doc):
                      f"not bitwise-equivalent to the plain trainer")
 
 
+def check_jobs(doc):
+    require_keys(doc, JOBS_TOP_KEYS, "BENCH_jobs.json")
+    check_version(doc, JOBS_VERSION, "BENCH_jobs.json")
+    check_host(doc, "BENCH_jobs.json")
+    cfg = doc["config"]
+    require_keys(cfg, JOBS_CONFIG_KEYS, "config")
+    n_epochs = cfg["epochs"]
+    names = cfg["job_names"]
+    if not isinstance(names, list) or len(names) != cfg["jobs"]:
+        fail("config.job_names must list config.jobs entries")
+
+    jobs = doc["jobs"]
+    if not isinstance(jobs, list):
+        fail("jobs must be an array")
+    if [j.get("name") for j in jobs] != names:
+        fail(f"jobs cover {[j.get('name') for j in jobs]}, expected "
+             f"config.job_names = {names}")
+
+    def check_epoch_list(rows, where):
+        if not isinstance(rows, list) or len(rows) != n_epochs:
+            fail(f"{where} must have config.epochs = {n_epochs} entries")
+        for i, row in enumerate(rows):
+            require_keys(row, JOBS_TRAJ_KEYS, f"{where}[{i}]")
+            if row["epoch"] != i:
+                fail(f"{where}[{i}].epoch = {row['epoch']}, expected {i}")
+            if not 0.0 <= row["weight_density"] <= 1.0:
+                fail(f"{where}[{i}].weight_density = "
+                     f"{row['weight_density']} outside [0, 1]")
+
+    # The isolation contract, as emitted: a job multiplexed with three
+    # neighbours follows the bitwise-identical trajectory of the same
+    # job running alone (%.17g floats round-trip exactly).
+    for job in jobs:
+        name = job["name"]
+        for block in ("solo", "concurrent"):
+            if block not in job:
+                fail(f"jobs[{name}] is missing the {block} block")
+            check_epoch_list(job[block]["epochs"],
+                             f"jobs[{name}].{block}.epochs")
+        for i in range(n_epochs):
+            a = job["solo"]["epochs"][i]
+            b = job["concurrent"]["epochs"][i]
+            for k in ("train_loss", "val_accuracy", "weight_density"):
+                if a[k] != b[k]:
+                    fail(f"jobs[{name}].concurrent.epochs[{i}].{k} = "
+                         f"{b[k]} differs from solo {a[k]} — "
+                         f"scheduler isolation broken")
+
+    timing = doc["timing"]
+    require_keys(timing, JOBS_TIMING_KEYS, "timing")
+    for k in JOBS_TIMING_KEYS:
+        if timing[k] < 0:
+            fail(f"timing.{k} = {timing[k]} is negative")
+
+    fairness = doc["fairness"]
+    require_keys(fairness, JOBS_FAIRNESS_KEYS, "fairness")
+    if fairness["rounds"] < n_epochs:
+        fail(f"fairness.rounds = {fairness['rounds']} below "
+             f"config.epochs = {n_epochs}")
+    if fairness["max_epoch_spread"] > 1:
+        fail(f"fairness.max_epoch_spread = "
+             f"{fairness['max_epoch_spread']} exceeds the fair-share "
+             f"bound of 1")
+
+    resume = doc["resume"]
+    require_keys(resume, JOBS_RESUME_KEYS, "resume")
+    if resume["job"] not in names:
+        fail(f"resume.job = {resume['job']!r} is not a configured job")
+    if resume["bitwise_equal"] is not True:
+        fail("resume.bitwise_equal is not true — checkpoint/resume "
+             "diverged from the uninterrupted run")
+    if resume["checkpoint_bytes"] <= 0:
+        fail("resume.checkpoint_bytes must be positive")
+    for k in ("save_ms", "restore_ms"):
+        if resume[k] < 0:
+            fail(f"resume.{k} = {resume[k]} is negative")
+    if not 0 <= resume["checkpoint_step"] <= resume["total_steps"]:
+        fail(f"resume.checkpoint_step = {resume['checkpoint_step']} "
+             f"outside [0, total_steps = {resume['total_steps']}]")
+    if (resume["resumed_steps"] !=
+            resume["total_steps"] - resume["checkpoint_step"]):
+        fail(f"resume.resumed_steps = {resume['resumed_steps']} but "
+             f"total - checkpoint = "
+             f"{resume['total_steps'] - resume['checkpoint_step']} — "
+             f"the resumed run did not land on the same step count")
+
+
 def main():
     checks = {"kernels": check_kernels, "cosim": check_cosim,
-              "dataflow": check_dataflow, "scaleout": check_scaleout}
+              "dataflow": check_dataflow, "scaleout": check_scaleout,
+              "jobs": check_jobs}
     if len(sys.argv) != 3 or sys.argv[1] not in checks:
         print(__doc__, file=sys.stderr)
         return 2
